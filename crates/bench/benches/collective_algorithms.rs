@@ -1,0 +1,92 @@
+//! Ablation benchmarks of the collective algorithms (DESIGN.md §6):
+//! ring vs naive allreduce, broadcast scaling, and tensor-fusion planning.
+
+use collectives::{naive_allreduce, ring_allreduce, run_workers, FusionPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn allreduce_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for &elements in &[1_024usize, 65_536, 524_288] {
+        group.throughput(Throughput::Elements(elements as u64));
+        for workers in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ring/{workers}w"), elements),
+                &elements,
+                |b, &n| {
+                    b.iter(|| {
+                        run_workers(workers, move |comm| {
+                            let mut data = vec![comm.rank() as f32; n];
+                            ring_allreduce(comm, &mut data).expect("ring");
+                            std::hint::black_box(data[0])
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive/{workers}w"), elements),
+                &elements,
+                |b, &n| {
+                    b.iter(|| {
+                        run_workers(workers, move |comm| {
+                            let mut data = vec![comm.rank() as f32; n];
+                            naive_allreduce(comm, &mut data).expect("naive");
+                            std::hint::black_box(data[0])
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn broadcast_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                run_workers(w, |comm| {
+                    let mut data = vec![comm.rank() as f32; 65_536];
+                    comm.broadcast(0, &mut data).expect("broadcast");
+                    std::hint::black_box(data[0])
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fusion_planning(c: &mut Criterion) {
+    // Planning cost for a model with many small tensors (the NT3 layer
+    // list repeated), fused vs unfused.
+    let sizes: Vec<usize> = (0..256).map(|i| 1_000 + (i % 7) * 512).collect();
+    let mut group = c.benchmark_group("fusion_plan");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("fused_64mb", |b| {
+        b.iter(|| {
+            std::hint::black_box(FusionPlan::plan(
+                &sizes,
+                collectives::DEFAULT_FUSION_THRESHOLD_BYTES,
+            ))
+        })
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| std::hint::black_box(FusionPlan::unfused(&sizes)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    allreduce_algorithms,
+    broadcast_scaling,
+    fusion_planning
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Numeric-kernel benchmarks: the matmul/conv primitives underlying every
+//! training step, at shapes taken from the four benchmark architectures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::{conv1d_forward, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use xrng::RandomSource;
+
+fn rand2(r: usize, c: usize, seed: u64) -> Tensor {
+    let mut rng = xrng::seeded(seed);
+    Tensor::from_fn([r, c], |_| rng.next_f32() - 0.5)
+}
+
+fn rand3(b: usize, s: usize, ch: usize, seed: u64) -> Tensor {
+    let mut rng = xrng::seeded(seed);
+    Tensor::from_fn([b, s, ch], |_| rng.next_f32() - 0.5)
+}
+
+fn matmul_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    // (batch, in, out) shapes from the dense layers of the P1 models.
+    for &(m, k, n) in &[
+        (20usize, 512usize, 128usize),
+        (100, 1024, 256),
+        (60, 2048, 64),
+    ] {
+        let a = rand2(m, k, 1);
+        let b = rand2(k, n, 2);
+        let flops = 2 * m * k * n;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("{m}x{k}x{n}")),
+            &(),
+            |bench, _| bench.iter(|| std::hint::black_box(matmul(&a, &b).expect("mm"))),
+        );
+        // Backward shapes: xT·delta and delta·WT.
+        let delta = rand2(m, n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("grad_weights", format!("{m}x{k}x{n}")),
+            &(),
+            |bench, _| bench.iter(|| std::hint::black_box(matmul_at_b(&a, &delta).expect("atb"))),
+        );
+        let w = rand2(k, n, 4);
+        group.bench_with_input(
+            BenchmarkId::new("grad_input", format!("{m}x{k}x{n}")),
+            &(),
+            |bench, _| bench.iter(|| std::hint::black_box(matmul_a_bt(&delta, &w).expect("abt"))),
+        );
+    }
+    group.finish();
+}
+
+fn conv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv1d");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    // NT3-like conv shapes at the scaled feature dimension.
+    for &(batch, steps, in_ch, out_ch, kernel) in &[
+        (20usize, 600usize, 1usize, 16usize, 5usize),
+        (20, 128, 16, 16, 3),
+    ] {
+        let input = rand3(batch, steps, in_ch, 5);
+        let weights = rand3(kernel, in_ch, out_ch, 6);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch}x{steps}x{in_ch}->{out_ch}k{kernel}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(conv1d_forward(&input, &weights, 1).expect("conv"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn softmax_and_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let logits = rand2(100, 1000, 7);
+    group.bench_function("softmax_rows_100x1000", |b| {
+        b.iter(|| std::hint::black_box(logits.softmax_rows()))
+    });
+    group.bench_function("sum_rows_100x1000", |b| {
+        b.iter(|| std::hint::black_box(logits.sum_rows()))
+    });
+    group.bench_function("argmax_rows_100x1000", |b| {
+        b.iter(|| std::hint::black_box(logits.argmax_rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    matmul_kernels,
+    conv_kernels,
+    softmax_and_reductions
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Regeneration benchmarks for the paper's figures: one target per figure.
+//! Model-plane figures (7, 11–21) are cheap; dual-plane figures (6, 8–10)
+//! run real training in quick mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn model_plane_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures_model");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("fig7_power_timeline", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig7()))
+    });
+    group.bench_function("fig11_nt3_summit_improvement", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig11()))
+    });
+    group.bench_function("fig12_broadcast_overhead", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig12()))
+    });
+    group.bench_function("fig13_nt3_theta", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig13()))
+    });
+    group.bench_function("fig14_p1b1_summit", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig14()))
+    });
+    group.bench_function("fig15_p1b1_theta", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig15()))
+    });
+    group.bench_function("fig16_p1b2_summit", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig16()))
+    });
+    group.bench_function("fig17_p1b2_theta", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig17()))
+    });
+    group.bench_function("fig18_nt3_weak", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig18()))
+    });
+    group.bench_function("fig19_weak_timeline_768", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig19()))
+    });
+    group.bench_function("fig20_p1b1_weak", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig20()))
+    });
+    group.bench_function("fig21_p1b2_weak", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig21()))
+    });
+    group.finish();
+}
+
+fn dual_plane_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures_functional");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("fig6_nt3_strong", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig6(true)))
+    });
+    group.bench_function("fig8_p1b1_strong", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig8(true)))
+    });
+    group.bench_function("fig9_p1b2_strong", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig9(true)))
+    });
+    group.bench_function("fig10_p1b3_batch_scaling", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig10(true)))
+    });
+    group.finish();
+
+    // Print each figure once, making the bench run a full report.
+    for fig in [
+        experiments::fig6(true),
+        experiments::fig7(),
+        experiments::fig8(true),
+        experiments::fig9(true),
+        experiments::fig10(true),
+        experiments::fig11(),
+        experiments::fig12(),
+        experiments::fig13(),
+        experiments::fig14(),
+        experiments::fig15(),
+        experiments::fig16(),
+        experiments::fig17(),
+        experiments::fig18(),
+        experiments::fig19(),
+        experiments::fig20(),
+        experiments::fig21(),
+    ] {
+        println!("\n{fig}");
+    }
+}
+
+criterion_group!(benches, model_plane_figures, dual_plane_figures);
+criterion_main!(benches);

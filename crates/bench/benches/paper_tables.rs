@@ -1,0 +1,55 @@
+//! Regeneration benchmarks for the paper's tables: each target re-derives
+//! one table from the models (Tables 1–5) or the dual-plane drivers
+//! (Table 6), so `cargo bench` both times and *prints* every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("table1_configs", |b| {
+        b.iter(|| std::hint::black_box(experiments::table1()))
+    });
+    group.bench_function("table2_nt3_epoch_time_power", |b| {
+        b.iter(|| std::hint::black_box(experiments::table2()))
+    });
+    group.bench_function("table4_loading_theta", |b| {
+        b.iter(|| std::hint::black_box(experiments::table4()))
+    });
+    group.bench_function("table5_nt3_power_energy", |b| {
+        b.iter(|| std::hint::black_box(experiments::table5()))
+    });
+    group.finish();
+
+    // Table 3 includes a live CSV measurement and Table 6 real training —
+    // bench them with fewer samples.
+    let mut heavy = c.benchmark_group("paper_tables_heavy");
+    heavy.warm_up_time(std::time::Duration::from_millis(300));
+    heavy.measurement_time(std::time::Duration::from_secs(1));
+    heavy.sample_size(10);
+    heavy.bench_function("table3_loading_summit_with_local_validation", |b| {
+        b.iter(|| std::hint::black_box(experiments::table3()))
+    });
+    heavy.bench_function("table6_weak_scaling_accuracy", |b| {
+        b.iter(|| std::hint::black_box(experiments::table6(true)))
+    });
+    heavy.finish();
+
+    // Print each regenerated table once so the bench run doubles as a
+    // report generator.
+    for table in [
+        experiments::table1(),
+        experiments::table2(),
+        experiments::table3(),
+        experiments::table4(),
+        experiments::table5(),
+        experiments::table6(true),
+    ] {
+        println!("\n{table}");
+    }
+}
+
+criterion_group!(benches, table_benches);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end training benchmarks: one functional epoch of each benchmark
+//! model, single-worker vs multi-worker (measuring the real cost of the
+//! shared-memory ring allreduce per step).
+
+use candle::pipeline::FuncScaling;
+use candle::{BenchDataKind, ParallelRunSpec};
+use cluster::calib::Bench;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn epoch_spec(bench: Bench, workers: usize) -> ParallelRunSpec {
+    ParallelRunSpec {
+        bench,
+        workers,
+        scaling: FuncScaling::Weak {
+            epochs_per_worker: 1,
+        },
+        batch: 40,
+        base_lr: 0.005,
+        data: BenchDataKind::tiny(bench),
+        seed: 77,
+        record_timeline: false,
+        data_mode: candle::pipeline::DataMode::FullReplicated,
+    }
+}
+
+fn one_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for bench in [Bench::Nt3, Bench::P1b1, Bench::P1b2] {
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), format!("{workers}w")),
+                &workers,
+                |b, &w| {
+                    let spec = epoch_spec(bench, w);
+                    b.iter(|| std::hint::black_box(candle::run_parallel(&spec).expect("epoch")))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn gradient_sync_overhead(c: &mut Criterion) {
+    // The per-step allreduce cost in isolation: same model, same data,
+    // NoSync vs DistributedOptimizer at 4 workers.
+    let mut group = c.benchmark_group("gradient_sync");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("nt3_nosync_1w", |b| {
+        let spec = epoch_spec(Bench::Nt3, 1);
+        b.iter(|| std::hint::black_box(candle::run_parallel(&spec).expect("run")))
+    });
+    group.bench_function("nt3_ring_4w", |b| {
+        let spec = epoch_spec(Bench::Nt3, 4);
+        b.iter(|| std::hint::black_box(candle::run_parallel(&spec).expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, one_epoch, gradient_sync_overhead);
+criterion_main!(benches);

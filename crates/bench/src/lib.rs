@@ -1,0 +1,14 @@
+//! `candle-bench` — the Criterion benchmark harness of the reproduction.
+//!
+//! The library crate is intentionally empty: all content lives in the
+//! `benches/` targets, one per paper table/figure plus the ablation
+//! microbenchmarks DESIGN.md §6 calls out:
+//!
+//! * `csv_methods` — real measurements of the three CSV reader strategies
+//!   on wide vs narrow files (the live counterpart of Tables 3/4);
+//! * `collective_algorithms` — ring vs naive allreduce, broadcast scaling,
+//!   tensor-fusion planning;
+//! * `kernels` — matmul/conv/softmax primitives at benchmark shapes;
+//! * `training` — full functional epochs, single vs multi-worker;
+//! * `paper_tables`, `paper_figures` — timed regeneration of every table
+//!   and figure (their output doubles as the paper report).

@@ -1,0 +1,266 @@
+//! Synthetic benchmark datasets with the Table-1 geometry.
+
+use crate::params::{BenchId, HyperParams};
+use cluster::calib::Bench;
+use dataio::{generate, ClassSpec, Scaler, ScalerKind, SyntheticSpec};
+use dlframe::Dataset;
+use tensor::Tensor;
+
+/// The preprocessing each benchmark applies after loading (paper Fig 2's
+/// "data loading and preprocessing" phase): NT3 max-abs-scales expression
+/// values, P1B1 min-max-scales for its sigmoid-friendly autoencoder
+/// inputs, P1B2/P1B3 standardize.
+pub fn scaler_kind(bench: BenchId) -> ScalerKind {
+    match bench {
+        Bench::Nt3 => ScalerKind::MaxAbs,
+        Bench::P1b1 => ScalerKind::MinMax,
+        Bench::P1b2 | Bench::P1b3 => ScalerKind::Standard,
+    }
+}
+
+/// A dimension-scaled description of one benchmark's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchDataKind {
+    /// Which benchmark.
+    pub bench: BenchId,
+    /// Feature count after scaling.
+    pub features: usize,
+    /// Training rows after scaling.
+    pub train_rows: usize,
+    /// Test rows after scaling.
+    pub test_rows: usize,
+}
+
+impl BenchDataKind {
+    /// Scales the Table-1 geometry down by `scale` (features and, for
+    /// P1B3, rows), with floors that keep every architecture viable.
+    /// `scale = 1` is the paper's full size.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn scaled(bench: BenchId, scale: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        let hp = HyperParams::of(bench);
+        let features_full = hp.elements_per_sample.saturating_sub(1).max(4);
+        let features = (features_full / scale).max(24);
+        // NT3/P1B1/P1B2 have few samples — keep all rows so batch-step
+        // counts match Table 1; P1B3's 900k rows must shrink with scale.
+        let (train_rows, test_rows) = match bench {
+            Bench::P1b3 => (
+                (hp.train_samples / scale).max(400),
+                (hp.test_samples / scale).max(100),
+            ),
+            _ => (hp.train_samples, hp.test_samples),
+        };
+        Self {
+            bench,
+            features,
+            train_rows,
+            test_rows,
+        }
+    }
+
+    /// A deliberately small configuration for fast unit tests and the
+    /// quickstart example.
+    pub fn tiny(bench: BenchId) -> Self {
+        let (train_rows, test_rows) = match bench {
+            // P1B3's whole point is many batch steps within one epoch
+            // (9,001 at full scale) — keep enough rows for that shape.
+            Bench::P1b3 => (4000, 1000),
+            _ => (120, 40),
+        };
+        Self {
+            bench,
+            features: 48,
+            train_rows,
+            test_rows,
+        }
+    }
+}
+
+/// Generates the train and test `dlframe` datasets for a benchmark.
+///
+/// Classification benchmarks (NT3, P1B2) get one-hot targets; P1B1 is an
+/// autoencoder (target = input); P1B3 is regression on a single growth
+/// column.
+pub fn benchmark_dataset(kind: &BenchDataKind, seed: u64) -> (Dataset, Dataset) {
+    let hp = HyperParams::of(kind.bench);
+    // Train and test must come from the SAME distribution (same class
+    // centroids / same regression weights), so generate one pool and split
+    // it. Class labels are interleaved (`row % classes`), so both splits
+    // stay balanced.
+    let total_rows = kind.train_rows + kind.test_rows;
+    let sub_seed = xrng::derive_seed(seed, 0xDA7A);
+    let pool = match kind.bench {
+        Bench::Nt3 | Bench::P1b2 => {
+            let classes = hp.classes;
+            let ds = generate(&SyntheticSpec {
+                rows: total_rows,
+                cols: kind.features,
+                kind: ClassSpec::Classification {
+                    classes,
+                    // NT3's binary normal/tumor task is easier than P1B2's
+                    // 10-way cancer typing — mirrored in the separation so
+                    // accuracy curves behave like the paper's (NT3 reaches
+                    // 1.0, P1B2 plateaus lower).
+                    separation: if classes == 2 { 1.0 } else { 0.8 },
+                },
+                noise: if classes == 2 { 1.1 } else { 1.4 },
+                seed: sub_seed,
+            });
+            let x = Tensor::from_vec([total_rows, kind.features], ds.features.clone())
+                .expect("generator length");
+            let y = Tensor::from_vec([total_rows, classes], ds.one_hot_labels())
+                .expect("one-hot length");
+            Dataset::new(x, y)
+        }
+        Bench::P1b1 => {
+            // Structured blobs the autoencoder can compress.
+            let ds = generate(&SyntheticSpec {
+                rows: total_rows,
+                cols: kind.features,
+                kind: ClassSpec::Classification {
+                    classes: 10,
+                    separation: 1.0,
+                },
+                noise: 0.4,
+                seed: sub_seed,
+            });
+            let x = Tensor::from_vec([total_rows, kind.features], ds.features)
+                .expect("generator length");
+            let y = x.clone();
+            Dataset::new(x, y)
+        }
+        Bench::P1b3 => {
+            let ds = generate(&SyntheticSpec {
+                rows: total_rows,
+                cols: kind.features,
+                kind: ClassSpec::Regression {
+                    signal_features: kind.features.min(16),
+                },
+                noise: 0.02,
+                seed: sub_seed,
+            });
+            let x = Tensor::from_vec([total_rows, kind.features], ds.features)
+                .expect("generator length");
+            let y = Tensor::from_vec([total_rows, 1], ds.labels).expect("label length");
+            Dataset::new(x, y)
+        }
+    };
+    let (train, test) = pool.split(kind.test_rows as f64 / total_rows as f64);
+    // Preprocessing: fit the benchmark's scaler on the training features
+    // only, then apply to both splits (no test leakage).
+    let mut train_x = train.x().data().to_vec();
+    let mut test_x = test.x().data().to_vec();
+    Scaler::fit_transform(
+        scaler_kind(kind.bench),
+        &mut train_x,
+        &mut test_x,
+        kind.train_rows,
+        kind.features,
+    );
+    let rebuild = |orig: &Dataset, x: Vec<f32>, rows: usize| {
+        Dataset::new(
+            Tensor::from_vec([rows, kind.features], x).expect("scaled features"),
+            // P1B1's autoencoder target is the *scaled* input.
+            if kind.bench == Bench::P1b1 {
+                Tensor::from_vec([rows, kind.features], orig.x().data().to_vec())
+                    .expect("autoencoder target")
+            } else {
+                orig.y().clone()
+            },
+        )
+    };
+    let mut train_ds = rebuild(&train, train_x.clone(), kind.train_rows);
+    let mut test_ds = rebuild(&test, test_x.clone(), kind.test_rows);
+    if kind.bench == Bench::P1b1 {
+        // Replace the autoencoder targets with the scaled features.
+        train_ds = Dataset::new(
+            Tensor::from_vec([kind.train_rows, kind.features], train_x.clone()).expect("x"),
+            Tensor::from_vec([kind.train_rows, kind.features], train_x).expect("y"),
+        );
+        test_ds = Dataset::new(
+            Tensor::from_vec([kind.test_rows, kind.features], test_x.clone()).expect("x"),
+            Tensor::from_vec([kind.test_rows, kind.features], test_x).expect("y"),
+        );
+    }
+    (train_ds, test_ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_keeps_row_counts_for_small_benchmarks() {
+        let k = BenchDataKind::scaled(Bench::Nt3, 100);
+        assert_eq!(k.train_rows, 1120);
+        assert_eq!(k.test_rows, 280);
+        assert_eq!(k.features, 604);
+    }
+
+    #[test]
+    fn scaled_shrinks_p1b3_rows() {
+        let k = BenchDataKind::scaled(Bench::P1b3, 100);
+        assert_eq!(k.train_rows, 9001);
+        assert!(k.features >= 24);
+    }
+
+    #[test]
+    fn scale_one_is_full_size() {
+        let k = BenchDataKind::scaled(Bench::Nt3, 1);
+        assert_eq!(k.features, 60_482);
+        assert_eq!(k.train_rows, 1_120);
+    }
+
+    #[test]
+    fn nt3_dataset_shapes() {
+        let kind = BenchDataKind::tiny(Bench::Nt3);
+        let (train, test) = benchmark_dataset(&kind, 1);
+        assert_eq!(train.len(), 120);
+        assert_eq!(test.len(), 40);
+        assert_eq!(train.x().shape().dims(), &[120, 48]);
+        assert_eq!(train.y().shape().dims(), &[120, 2]);
+    }
+
+    #[test]
+    fn p1b1_targets_equal_inputs() {
+        let kind = BenchDataKind::tiny(Bench::P1b1);
+        let (train, _) = benchmark_dataset(&kind, 2);
+        assert_eq!(train.x().data(), train.y().data());
+    }
+
+    #[test]
+    fn p1b2_has_ten_classes() {
+        let kind = BenchDataKind::tiny(Bench::P1b2);
+        let (train, _) = benchmark_dataset(&kind, 3);
+        assert_eq!(train.y().shape().dims(), &[120, 10]);
+        // Every row is one-hot.
+        for r in 0..120 {
+            let s: f32 = train.y().row(r).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn p1b3_targets_single_column() {
+        let kind = BenchDataKind::tiny(Bench::P1b3);
+        let (train, _) = benchmark_dataset(&kind, 4);
+        assert_eq!(train.y().shape().dims(), &[4000, 1]);
+    }
+
+    #[test]
+    fn train_and_test_are_different_draws() {
+        let kind = BenchDataKind::tiny(Bench::Nt3);
+        let (train, test) = benchmark_dataset(&kind, 5);
+        assert_ne!(train.x().row(0), test.x().row(0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let kind = BenchDataKind::tiny(Bench::P1b2);
+        let (a, _) = benchmark_dataset(&kind, 6);
+        let (b, _) = benchmark_dataset(&kind, 6);
+        assert_eq!(a.x().data(), b.x().data());
+    }
+}

@@ -1,0 +1,151 @@
+//! Scaling strategies (paper §2.3.1, Figure 4).
+
+/// Batch-size scaling strategies for large-sample benchmarks (P1B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchScaling {
+    /// Batch size stays at the default (NT3/P1B1/P1B2 — few samples).
+    Constant,
+    /// `batch × N` — fewest steps, fastest, risks OOM and accuracy loss.
+    Linear,
+    /// `int(batch × √N)`.
+    SquareRoot,
+    /// `int(batch × ∛N)` — the paper finds this gives the best accuracy.
+    CubicRoot,
+}
+
+impl BatchScaling {
+    /// Display name matching the paper's Figure 10 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            BatchScaling::Constant => "constant",
+            BatchScaling::Linear => "linear",
+            BatchScaling::SquareRoot => "square root",
+            BatchScaling::CubicRoot => "cubic root",
+        }
+    }
+}
+
+/// The paper's `comp_epochs` function, verbatim: ranks `0..n-1` get
+/// `E / n` epochs and the last rank also takes the remainder.
+///
+/// # Panics
+/// Panics if `nprocs == 0` or `myrank >= nprocs`.
+pub fn comp_epochs(n: usize, myrank: usize, nprocs: usize) -> usize {
+    assert!(nprocs > 0, "nprocs must be positive");
+    assert!(myrank < nprocs, "rank {myrank} out of {nprocs}");
+    let j = n / nprocs;
+    let k = n % nprocs;
+    if myrank < nprocs - 1 {
+        j
+    } else {
+        j + k
+    }
+}
+
+/// The load-balanced variant the paper actually runs ("for load balancing,
+/// we ensure that the number of epochs is the same for each GPU"): every
+/// rank gets `E / n` epochs; the remainder is dropped.
+pub fn comp_epochs_balanced(n: usize, nprocs: usize) -> usize {
+    assert!(nprocs > 0, "nprocs must be positive");
+    n / nprocs
+}
+
+/// Effective batch size under a scaling strategy with `workers` workers.
+pub fn scaled_batch(base: usize, workers: usize, strategy: BatchScaling) -> usize {
+    assert!(workers > 0, "workers must be positive");
+    match strategy {
+        BatchScaling::Constant => base,
+        BatchScaling::Linear => base * workers,
+        BatchScaling::SquareRoot => ((base as f64) * (workers as f64).sqrt()) as usize,
+        BatchScaling::CubicRoot => ((base as f64) * (workers as f64).cbrt()) as usize,
+    }
+}
+
+/// Linear learning-rate scaling: `lr × workers` (paper §2.3.2).
+pub fn scaled_lr(base: f32, workers: usize) -> f32 {
+    assert!(workers > 0, "workers must be positive");
+    base * workers as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn comp_epochs_matches_paper_examples() {
+        // 384 epochs on 384 GPUs: one each.
+        for r in 0..384 {
+            assert_eq!(comp_epochs(384, r, 384), 1);
+        }
+        // 384 epochs on 5 GPUs: 76 each, last gets 76 + 4.
+        assert_eq!(comp_epochs(384, 0, 5), 76);
+        assert_eq!(comp_epochs(384, 4, 5), 80);
+    }
+
+    #[test]
+    fn comp_epochs_single_proc_gets_all() {
+        assert_eq!(comp_epochs(384, 0, 1), 384);
+    }
+
+    #[test]
+    fn balanced_drops_remainder() {
+        assert_eq!(comp_epochs_balanced(384, 5), 76);
+        assert_eq!(comp_epochs_balanced(10, 3), 3);
+        assert_eq!(comp_epochs_balanced(2, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rank_out_of_range_panics() {
+        comp_epochs(10, 3, 3);
+    }
+
+    #[test]
+    fn batch_scaling_matches_paper_fig10() {
+        // Paper: base 100; 48 GPUs cubic root → int(100 × 48^(1/3)) = 363.
+        assert_eq!(scaled_batch(100, 48, BatchScaling::CubicRoot), 363);
+        // Linear at 192 GPUs → 19,200 (the failing case).
+        assert_eq!(scaled_batch(100, 192, BatchScaling::Linear), 19_200);
+        assert_eq!(scaled_batch(100, 384, BatchScaling::Linear), 38_400);
+        // Square root at 4 GPUs → 200.
+        assert_eq!(scaled_batch(100, 4, BatchScaling::SquareRoot), 200);
+        assert_eq!(scaled_batch(20, 7, BatchScaling::Constant), 20);
+    }
+
+    #[test]
+    fn lr_scaling_is_linear() {
+        assert_eq!(scaled_lr(0.001, 24), 0.024);
+        assert_eq!(scaled_lr(0.001, 1), 0.001);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BatchScaling::CubicRoot.label(), "cubic root");
+    }
+
+    proptest! {
+        #[test]
+        fn comp_epochs_partitions_exactly(n in 0usize..10_000, nprocs in 1usize..128) {
+            let total: usize = (0..nprocs).map(|r| comp_epochs(n, r, nprocs)).sum();
+            prop_assert_eq!(total, n);
+            // All but the last rank get the same count.
+            let first = comp_epochs(n, 0, nprocs);
+            for r in 0..nprocs - 1 {
+                prop_assert_eq!(comp_epochs(n, r, nprocs), first);
+            }
+            prop_assert!(comp_epochs(n, nprocs - 1, nprocs) >= first);
+        }
+
+        #[test]
+        fn scaling_strategies_are_ordered(base in 1usize..200, workers in 1usize..500) {
+            let c = scaled_batch(base, workers, BatchScaling::Constant);
+            let cb = scaled_batch(base, workers, BatchScaling::CubicRoot);
+            let sq = scaled_batch(base, workers, BatchScaling::SquareRoot);
+            let li = scaled_batch(base, workers, BatchScaling::Linear);
+            prop_assert!(c <= cb + 1);
+            prop_assert!(cb <= sq + 1);
+            prop_assert!(sq <= li);
+        }
+    }
+}

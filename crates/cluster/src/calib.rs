@@ -1,0 +1,283 @@
+//! Calibration constants taken from the paper.
+//!
+//! Two kinds of constants live here:
+//!
+//! 1. **Measured inputs** — the single-node data-loading times of Tables 3
+//!    and 4 are used directly as model inputs (they are measurements of
+//!    pandas on the real filesystems, which our laptop-scale CSV engine
+//!    cannot reproduce in absolute terms; its *ratios* are validated
+//!    separately in the `csv_methods` bench).
+//! 2. **Fitted constants** — per-benchmark compute times per batch,
+//!    parameter sizes, and fixed overheads, fitted so the composed model
+//!    lands on the paper's reported aggregate numbers (time per epoch,
+//!    total runtime, improvement percentages). EXPERIMENTS.md records the
+//!    paper-vs-model deltas.
+
+use crate::io::LoadMethod;
+use crate::machine::Machine;
+
+/// Which benchmark a constant belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bench {
+    /// NT3: 1-D conv classifier, 1,120 × 60,483.
+    Nt3,
+    /// P1B1: MLP autoencoder, 2,700 × 60,484.
+    P1b1,
+    /// P1B2: MLP classifier, 2,700 × 28,204.
+    P1b2,
+    /// P1B3: MLP regressor, 900,100 × 1,000.
+    P1b3,
+}
+
+impl Bench {
+    /// All four benchmarks in paper order.
+    pub const ALL: [Bench; 4] = [Bench::Nt3, Bench::P1b1, Bench::P1b2, Bench::P1b3];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Nt3 => "NT3",
+            Bench::P1b1 => "P1B1",
+            Bench::P1b2 => "P1B2",
+            Bench::P1b3 => "P1B3",
+        }
+    }
+}
+
+/// Training or testing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// The training matrix.
+    Train,
+    /// The test matrix.
+    Test,
+}
+
+/// Paper Table 1: training/testing file sizes in MB.
+pub fn file_size_mb(bench: Bench, split: Split) -> f64 {
+    match (bench, split) {
+        (Bench::Nt3, Split::Train) => 597.0,
+        (Bench::Nt3, Split::Test) => 150.0,
+        (Bench::P1b1, Split::Train) => 771.0,
+        (Bench::P1b1, Split::Test) => 258.0,
+        (Bench::P1b2, Split::Train) => 162.0,
+        (Bench::P1b2, Split::Test) => 55.0,
+        (Bench::P1b3, Split::Train) => 318.0,
+        (Bench::P1b3, Split::Test) => 103.0,
+    }
+}
+
+/// Paper Tables 3 and 4: measured single-reader data-loading seconds.
+///
+/// `Dask` is reported by the paper only qualitatively ("better than the
+/// original method but worse than the data loading in chunks"); it is
+/// modelled as the geometric mean of the two measured methods.
+pub fn load_base_seconds(machine: Machine, bench: Bench, split: Split, method: LoadMethod) -> f64 {
+    use Bench::*;
+    use LoadMethod::*;
+    use Split::*;
+    let (pandas, chunked) = match (machine, bench, split) {
+        (Machine::Summit, Nt3, Train) => (81.72, 14.30),
+        (Machine::Summit, Nt3, Test) => (22.25, 5.25),
+        (Machine::Summit, P1b1, Train) => (235.68, 30.99),
+        (Machine::Summit, P1b1, Test) => (80.77, 14.47),
+        (Machine::Summit, P1b2, Train) => (40.98, 11.03),
+        (Machine::Summit, P1b2, Test) => (15.95, 5.33),
+        (Machine::Summit, P1b3, Train) => (5.41, 5.34),
+        (Machine::Summit, P1b3, Test) => (3.20, 2.52),
+        (Machine::Theta, Nt3, Train) => (52.91, 13.84),
+        (Machine::Theta, Nt3, Test) => (13.93, 3.62),
+        (Machine::Theta, P1b1, Train) => (139.71, 27.43),
+        (Machine::Theta, P1b1, Test) => (48.38, 11.67),
+        (Machine::Theta, P1b2, Train) => (25.07, 9.53),
+        (Machine::Theta, P1b2, Test) => (9.56, 4.40),
+        (Machine::Theta, P1b3, Train) => (4.74, 4.53),
+        (Machine::Theta, P1b3, Test) => (2.79, 2.49),
+    };
+    match method {
+        PandasDefault => pandas,
+        ChunkedLowMemoryFalse => chunked,
+        Dask => (pandas * chunked).sqrt(),
+    }
+}
+
+/// Fitted per-benchmark compute-time constants for one training batch at
+/// the default batch size, in seconds: `(summit_s, theta_s)`.
+///
+/// Derivation: NT3 sequential time/epoch ≈ 10.3 s on Summit (Table 6) over
+/// 56 steps → 0.184 s/step; ≈ 617 s base epoch on Theta (§5.1, after
+/// removing comm overhead at 24 nodes) over 56 steps → 11.0 s/step. The MLP
+/// benchmarks are far lighter; their constants are set so total runtimes
+/// land on Figures 8/9/14–17.
+pub fn batch_compute_seconds(bench: Bench) -> (f64, f64) {
+    match bench {
+        Bench::Nt3 => (0.184, 11.0),
+        Bench::P1b1 => (0.12, 12.0),
+        Bench::P1b2 => (0.055, 2.2),
+        Bench::P1b3 => (0.011, 0.35),
+    }
+}
+
+/// Marginal compute seconds per additional sample in a batch (Summit,
+/// Theta). Batch-size scaling (P1B3, and NT3's 20→40 comparison) uses
+/// `t(B) = base + per_sample × (B − B_default)`.
+pub fn batch_marginal_seconds_per_sample(bench: Bench) -> (f64, f64) {
+    match bench {
+        Bench::Nt3 => (0.004, 0.24),
+        Bench::P1b1 => (0.0008, 0.03),
+        Bench::P1b2 => (0.0006, 0.025),
+        Bench::P1b3 => (0.00008, 0.0025),
+    }
+}
+
+/// Model parameter footprint in bytes (gradient = same size), estimated
+/// from the published architectures: NT3's dense head after flattening
+/// 60,483 features dominates at ~128 MB; the MLPs are tens of MB.
+pub fn model_bytes(bench: Bench) -> f64 {
+    match bench {
+        Bench::Nt3 => 128.0e6,
+        Bench::P1b1 => 60.0e6,
+        Bench::P1b2 => 30.0e6,
+        Bench::P1b3 => 8.0e6,
+    }
+}
+
+/// Fixed per-run overhead (framework start-up, preprocessing, prediction
+/// and evaluation on the test set), seconds, per machine `(summit, theta)`.
+pub fn fixed_overhead_seconds(bench: Bench) -> (f64, f64) {
+    match bench {
+        Bench::Nt3 => (25.0, 60.0),
+        Bench::P1b1 => (30.0, 70.0),
+        Bench::P1b2 => (10.0, 30.0),
+        Bench::P1b3 => (20.0, 50.0),
+    }
+}
+
+/// Data-loading skew fraction: Horovod's broadcast negotiation waits for
+/// the slowest rank, and the wait is proportional to the loading time. The
+/// chunked method issues fewer, larger reads and so has lower cross-rank
+/// variance — the mechanism behind the paper's 43.72 s → 4.65 s broadcast
+/// reduction (Fig 12).
+pub fn broadcast_skew_fraction(method: LoadMethod) -> f64 {
+    match method {
+        LoadMethod::PandasDefault => 0.30,
+        LoadMethod::ChunkedLowMemoryFalse => 0.135,
+        LoadMethod::Dask => 0.22,
+    }
+}
+
+/// Minimum epochs per worker a benchmark needs to execute at all (paper
+/// §4.2.2: "P1B1 requires at least 4 epochs (at most 96 GPUs)").
+pub fn min_epochs_per_worker(bench: Bench) -> usize {
+    match bench {
+        Bench::P1b1 => 4,
+        _ => 1,
+    }
+}
+
+/// Per-benchmark out-of-memory batch limit on a 16 GB V100 (paper: NT3
+/// fails at batch ≥ 50; P1B3's linear scaling fails at 19,200).
+pub fn oom_batch_limit_summit(bench: Bench) -> usize {
+    match bench {
+        Bench::Nt3 => 49,
+        Bench::P1b1 => 4000,
+        Bench::P1b2 => 8000,
+        Bench::P1b3 => 19_199,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values_spot_check() {
+        assert_eq!(
+            load_base_seconds(
+                Machine::Summit,
+                Bench::Nt3,
+                Split::Train,
+                LoadMethod::PandasDefault
+            ),
+            81.72
+        );
+        assert_eq!(
+            load_base_seconds(
+                Machine::Summit,
+                Bench::P1b1,
+                Split::Train,
+                LoadMethod::ChunkedLowMemoryFalse
+            ),
+            30.99
+        );
+        assert_eq!(
+            load_base_seconds(
+                Machine::Theta,
+                Bench::P1b3,
+                Split::Test,
+                LoadMethod::PandasDefault
+            ),
+            2.79
+        );
+    }
+
+    #[test]
+    fn chunked_is_never_slower_than_pandas() {
+        for m in [Machine::Summit, Machine::Theta] {
+            for b in Bench::ALL {
+                for s in [Split::Train, Split::Test] {
+                    let p = load_base_seconds(m, b, s, LoadMethod::PandasDefault);
+                    let c = load_base_seconds(m, b, s, LoadMethod::ChunkedLowMemoryFalse);
+                    let d = load_base_seconds(m, b, s, LoadMethod::Dask);
+                    assert!(c <= p, "{m:?} {b:?} {s:?}");
+                    // Dask sits between the two (paper's qualitative claim).
+                    assert!(d >= c && d <= p, "{m:?} {b:?} {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_files_speed_up_most() {
+        // Paper: NT3/P1B1 improve ~5-7x, P1B3 barely at all.
+        let speedup = |b: Bench| {
+            load_base_seconds(Machine::Summit, b, Split::Train, LoadMethod::PandasDefault)
+                / load_base_seconds(
+                    Machine::Summit,
+                    b,
+                    Split::Train,
+                    LoadMethod::ChunkedLowMemoryFalse,
+                )
+        };
+        assert!(speedup(Bench::Nt3) > 5.0);
+        assert!(speedup(Bench::P1b1) > 7.0);
+        assert!(speedup(Bench::P1b3) < 1.1);
+    }
+
+    #[test]
+    fn nt3_sequential_epoch_near_paper() {
+        // 56 steps × batch compute ≈ 10.3 s (Table 6 sequential).
+        let (summit, _) = batch_compute_seconds(Bench::Nt3);
+        let epoch = 56.0 * summit;
+        assert!((epoch - 10.3).abs() < 0.5, "epoch {epoch}");
+    }
+
+    #[test]
+    fn skew_fractions_ordered() {
+        assert!(
+            broadcast_skew_fraction(LoadMethod::ChunkedLowMemoryFalse)
+                < broadcast_skew_fraction(LoadMethod::Dask)
+        );
+        assert!(
+            broadcast_skew_fraction(LoadMethod::Dask)
+                < broadcast_skew_fraction(LoadMethod::PandasDefault)
+        );
+    }
+
+    #[test]
+    fn oom_limits_match_paper_anecdotes() {
+        assert!(oom_batch_limit_summit(Bench::Nt3) < 50);
+        assert!(oom_batch_limit_summit(Bench::P1b3) < 19_200);
+        assert!(oom_batch_limit_summit(Bench::P1b3) >= 9600);
+    }
+}

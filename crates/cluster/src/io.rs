@@ -1,0 +1,114 @@
+//! Shared-filesystem data-loading time model.
+//!
+//! Every rank reads the same training/testing CSVs from the parallel
+//! filesystem. The per-reader base time comes from the paper's Tables 3/4
+//! (see [`crate::calib`]); at scale, contention on the metadata and object
+//! servers inflates it. Summit's Spectrum Scale degrades only slightly
+//! ("the data-loading time increases slightly", Fig 6a); Theta's Lustre
+//! degrades much faster, which is why the paper finds Theta's in-run
+//! loading >4× Summit's despite faster single-file reads.
+
+use crate::calib::{self, Bench, Split};
+use crate::machine::Machine;
+
+/// The data-loading strategy, mirroring `dataio::ReadStrategy` at the
+/// model level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadMethod {
+    /// `pandas.read_csv()` with defaults (`low_memory=True`).
+    PandasDefault,
+    /// The paper's optimized chunked loading with `low_memory=False`.
+    ChunkedLowMemoryFalse,
+    /// Dask DataFrame parallel read.
+    Dask,
+}
+
+impl LoadMethod {
+    /// Display label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadMethod::PandasDefault => "pandas.read_csv (original)",
+            LoadMethod::ChunkedLowMemoryFalse => "chunks + low_memory=False",
+            LoadMethod::Dask => "Dask DataFrame",
+        }
+    }
+}
+
+/// Multiplier applied to single-reader load time when `nodes` nodes read
+/// the same files concurrently: `1 + γ·log2(nodes)`.
+pub fn contention_factor(machine: Machine, nodes: usize) -> f64 {
+    assert!(nodes > 0, "node count must be positive");
+    let gamma = machine.spec().io_contention_per_log2_nodes;
+    1.0 + gamma * (nodes as f64).log2()
+}
+
+/// Modelled wall-clock seconds to load one benchmark file with `method`
+/// while `nodes` nodes contend for the filesystem.
+pub fn load_seconds(
+    machine: Machine,
+    bench: Bench,
+    split: Split,
+    method: LoadMethod,
+    nodes: usize,
+) -> f64 {
+    calib::load_base_seconds(machine, bench, split, method) * contention_factor(machine, nodes)
+}
+
+/// Total data-loading phase: training file + testing file.
+pub fn total_load_seconds(machine: Machine, bench: Bench, method: LoadMethod, nodes: usize) -> f64 {
+    load_seconds(machine, bench, Split::Train, method, nodes)
+        + load_seconds(machine, bench, Split::Test, method, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_has_no_contention() {
+        assert_eq!(contention_factor(Machine::Summit, 1), 1.0);
+        assert_eq!(contention_factor(Machine::Theta, 1), 1.0);
+    }
+
+    #[test]
+    fn contention_grows_with_nodes() {
+        let f64n = contention_factor(Machine::Summit, 64);
+        let f512 = contention_factor(Machine::Summit, 512);
+        assert!(f64n > 1.0 && f512 > f64n);
+        // Summit degrades only slightly (paper: "increases slightly").
+        assert!(f64n < 1.5, "Summit contention at 64 nodes: {f64n}");
+        // Theta degrades much faster.
+        assert!(contention_factor(Machine::Theta, 384) > 4.0);
+    }
+
+    #[test]
+    fn theta_in_run_loading_exceeds_summit_4x() {
+        // Paper §5.1: NT3 data loading on Theta (384 nodes) is more than
+        // four times that on Summit (64 nodes) for the full parallel run.
+        let summit = total_load_seconds(Machine::Summit, Bench::Nt3, LoadMethod::PandasDefault, 64);
+        let theta = total_load_seconds(Machine::Theta, Bench::Nt3, LoadMethod::PandasDefault, 384);
+        assert!(
+            theta > 4.0 * summit,
+            "theta {theta:.1}s vs summit {summit:.1}s"
+        );
+    }
+
+    #[test]
+    fn optimized_method_dominates_everywhere() {
+        for m in [Machine::Summit, Machine::Theta] {
+            for b in Bench::ALL {
+                for nodes in [1usize, 8, 64, 512] {
+                    let orig = total_load_seconds(m, b, LoadMethod::PandasDefault, nodes);
+                    let opt = total_load_seconds(m, b, LoadMethod::ChunkedLowMemoryFalse, nodes);
+                    assert!(opt <= orig, "{m:?} {b:?} {nodes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must be positive")]
+    fn zero_nodes_panics() {
+        contention_factor(Machine::Summit, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Hardware descriptions of the two platforms (paper §3).
+
+/// The platform a simulated run executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// ORNL Summit: IBM AC922 nodes, 2× POWER9 + 6× V100, NVLink,
+    /// EDR InfiniBand fat tree, Spectrum Scale (2.5 TB/s peak).
+    Summit,
+    /// ALCF Theta: Cray XC40, one KNL 7230 per node, Aries dragonfly,
+    /// Lustre (210 GB/s).
+    Theta,
+}
+
+/// Power draw (watts) of one worker device in each activity state.
+///
+/// "Device" means one V100 GPU on Summit (nvidia-smi's unit of measurement)
+/// and one KNL node on Theta (CapMC's unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerState {
+    /// Idle between phases.
+    pub idle_w: f64,
+    /// During data loading (CPU-side work; the device is nearly idle —
+    /// the "low-power data loading" the paper observes).
+    pub data_load_w: f64,
+    /// During the initial weight broadcast (paper: "during the broadcast,
+    /// the GPU power remains the same").
+    pub broadcast_w: f64,
+    /// During gradient computation.
+    pub compute_w: f64,
+    /// During allreduce communication.
+    pub allreduce_w: f64,
+}
+
+/// Static description of a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Platform identity.
+    pub machine: Machine,
+    /// Worker devices per node (6 GPUs on Summit, 1 KNL on Theta).
+    pub devices_per_node: usize,
+    /// TDP of one worker device (W): 300 for a V100, 215 for KNL 7230.
+    pub device_tdp_w: f64,
+    /// Power meter sampling interval in seconds (nvidia-smi: 1 Hz;
+    /// CapMC: ~2 Hz).
+    pub power_sample_interval_s: f64,
+    /// Ring-allreduce per-step latency/coordination coefficient (seconds);
+    /// multiplies `N^0.6` — see `comm`.
+    pub allreduce_latency_coeff_s: f64,
+    /// Ring-allreduce bandwidth per rank pair (bytes/second).
+    pub allreduce_bandwidth_bps: f64,
+    /// Tree-broadcast per-hop latency (seconds per log2 N).
+    pub broadcast_hop_latency_s: f64,
+    /// Broadcast bandwidth (bytes/second).
+    pub broadcast_bandwidth_bps: f64,
+    /// Data-loading contention growth per log2(nodes) (dimensionless).
+    pub io_contention_per_log2_nodes: f64,
+    /// Power-state table.
+    pub power: PowerState,
+}
+
+impl Machine {
+    /// The platform's specification.
+    pub fn spec(self) -> MachineSpec {
+        match self {
+            Machine::Summit => MachineSpec {
+                machine: self,
+                devices_per_node: 6,
+                device_tdp_w: 300.0,
+                power_sample_interval_s: 1.0,
+                // Calibrated so NT3's time/epoch grows from ~10.3 s on one
+                // GPU to ~23 s on 384 and ~50 s on 3072 (paper Tables 2/6),
+                // while staying near ~15 s at 48 GPUs (Fig 6a crossover).
+                allreduce_latency_coeff_s: 0.0056,
+                allreduce_bandwidth_bps: 10.0e9,
+                broadcast_hop_latency_s: 0.08,
+                broadcast_bandwidth_bps: 8.0e9,
+                // "the data-loading time increases slightly" (Fig 6a).
+                io_contention_per_log2_nodes: 0.07,
+                power: PowerState {
+                    idle_w: 40.0,
+                    data_load_w: 45.0,
+                    broadcast_w: 47.0,
+                    compute_w: 180.0,
+                    allreduce_w: 120.0,
+                },
+            },
+            Machine::Theta => MachineSpec {
+                machine: self,
+                devices_per_node: 1,
+                device_tdp_w: 215.0,
+                power_sample_interval_s: 0.5,
+                // Calibrated so NT3's time/epoch grows from ~695 s on 24
+                // nodes to ~1000 s on 384 nodes (paper §5.1).
+                allreduce_latency_coeff_s: 0.21,
+                allreduce_bandwidth_bps: 2.0e9,
+                broadcast_hop_latency_s: 0.35,
+                broadcast_bandwidth_bps: 1.5e9,
+                // Theta's aggregate in-run loading is >4× Summit's despite
+                // faster single-file reads — higher contention, lower I/O
+                // bandwidth (paper §5/§7).
+                io_contention_per_log2_nodes: 1.3,
+                power: PowerState {
+                    idle_w: 90.0,
+                    data_load_w: 120.0,
+                    broadcast_w: 125.0,
+                    compute_w: 200.0,
+                    allreduce_w: 160.0,
+                },
+            },
+        }
+    }
+
+    /// Number of nodes needed for `workers` devices.
+    pub fn nodes_for(self, workers: usize) -> usize {
+        let per = self.spec().devices_per_node;
+        workers.div_ceil(per)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::Summit => "Summit",
+            Machine::Theta => "Theta",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_matches_paper_specs() {
+        let s = Machine::Summit.spec();
+        assert_eq!(s.devices_per_node, 6);
+        assert_eq!(s.device_tdp_w, 300.0);
+        assert_eq!(s.power_sample_interval_s, 1.0);
+    }
+
+    #[test]
+    fn theta_matches_paper_specs() {
+        let t = Machine::Theta.spec();
+        assert_eq!(t.devices_per_node, 1);
+        assert_eq!(t.device_tdp_w, 215.0);
+    }
+
+    #[test]
+    fn nodes_for_rounds_up() {
+        assert_eq!(Machine::Summit.nodes_for(1), 1);
+        assert_eq!(Machine::Summit.nodes_for(6), 1);
+        assert_eq!(Machine::Summit.nodes_for(7), 2);
+        assert_eq!(Machine::Summit.nodes_for(384), 64);
+        assert_eq!(Machine::Summit.nodes_for(3072), 512);
+        assert_eq!(Machine::Theta.nodes_for(384), 384);
+    }
+
+    #[test]
+    fn power_states_are_ordered_sensibly() {
+        for m in [Machine::Summit, Machine::Theta] {
+            let p = m.spec().power;
+            assert!(p.idle_w <= p.data_load_w);
+            assert!(p.data_load_w < p.compute_w);
+            assert!(p.allreduce_w < p.compute_w);
+            assert!(p.compute_w <= m.spec().device_tdp_w);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Machine::Summit.name(), "Summit");
+        assert_eq!(Machine::Theta.name(), "Theta");
+    }
+}

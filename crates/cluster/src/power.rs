@@ -1,0 +1,244 @@
+//! Power-trace construction and energy accounting.
+//!
+//! A simulated run is a schedule of phases, each with a device power level.
+//! The schedule is replayed through the `simcore` event engine into a
+//! [`simcore::TimeSeries`] step function; energy is its exact integral and
+//! the "measured" trace is the series sampled at the platform's meter rate
+//! (nvidia-smi 1 Hz on Summit, CapMC ~2 Hz on Theta) — reproducing what
+//! the paper's Figure 7a plots.
+
+use crate::machine::MachineSpec;
+use simcore::{Engine, SimTime, TimeSeries};
+
+/// One scheduled run phase with its device power level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPhase {
+    /// Phase label (matches `RunPhase` names).
+    pub name: String,
+    /// Start time (seconds from run start).
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+    /// Device power during the phase (watts).
+    pub power_w: f64,
+}
+
+/// Energy/power results for one device over a run.
+#[derive(Debug, Clone)]
+pub struct PowerSummary {
+    /// Exact per-device energy over the run (joules).
+    pub energy_j: f64,
+    /// Time-weighted average device power (watts).
+    pub avg_power_w: f64,
+    /// The underlying step-function trace.
+    pub trace: TimeSeries,
+    /// Metered samples `(t_seconds, watts)` at the platform sampling rate.
+    pub samples: Vec<(f64, f64)>,
+    /// Run duration in seconds.
+    pub duration_s: f64,
+}
+
+impl PowerSummary {
+    /// Writes the metered samples as a two-column CSV
+    /// (`time_s,power_w`) — the format the paper's Figure 7a plots.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "time_s,power_w")?;
+        for (t, w) in &self.samples {
+            writeln!(f, "{t},{w}")?;
+        }
+        f.flush()
+    }
+}
+
+/// Builds the power trace and energy summary for a phase schedule.
+///
+/// The phases are replayed as discrete events (one per power-level change)
+/// so the trace construction exercises the same engine as any other
+/// simulation in the workspace.
+///
+/// # Panics
+/// Panics if phases overlap or run backwards in time.
+pub fn build_power_trace(spec: &MachineSpec, phases: &[PowerPhase]) -> PowerSummary {
+    let mut engine: Engine<TimeSeries> = Engine::new();
+    let idle = spec.power.idle_w;
+    let mut cursor = 0.0f64;
+    for phase in phases {
+        assert!(
+            phase.start_s + 1e-9 >= cursor,
+            "phase '{}' starts at {} before previous end {}",
+            phase.name,
+            phase.start_s,
+            cursor
+        );
+        assert!(phase.duration_s >= 0.0, "negative phase duration");
+        // Gap between phases idles the device.
+        if phase.start_s > cursor {
+            let t = SimTime::new(cursor);
+            engine.schedule(t, move |ts: &mut TimeSeries, _, now| ts.push(now, idle));
+        }
+        let start = SimTime::new(phase.start_s);
+        let watts = phase.power_w;
+        engine.schedule(start, move |ts: &mut TimeSeries, _, now| {
+            ts.push(now, watts)
+        });
+        cursor = phase.start_s + phase.duration_s;
+    }
+    let end = SimTime::new(cursor.max(0.0));
+    // Close the trace at idle power.
+    engine.schedule(end, move |ts: &mut TimeSeries, _, now| ts.push(now, idle));
+    let mut trace = TimeSeries::new();
+    engine.run(&mut trace);
+
+    let energy_j = trace.integral(SimTime::ZERO, end);
+    let duration_s = end.seconds();
+    let avg_power_w = if duration_s > 0.0 {
+        energy_j / duration_s
+    } else {
+        0.0
+    };
+    let samples = trace.sample(spec.power_sample_interval_s, end);
+    PowerSummary {
+        energy_j,
+        avg_power_w,
+        trace,
+        samples,
+        duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn phases() -> Vec<PowerPhase> {
+        vec![
+            PowerPhase {
+                name: "load".into(),
+                start_s: 0.0,
+                duration_s: 100.0,
+                power_w: 45.0,
+            },
+            PowerPhase {
+                name: "broadcast".into(),
+                start_s: 100.0,
+                duration_s: 20.0,
+                power_w: 47.0,
+            },
+            PowerPhase {
+                name: "train".into(),
+                start_s: 120.0,
+                duration_s: 80.0,
+                power_w: 170.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn energy_is_exact_sum_of_phases() {
+        let spec = Machine::Summit.spec();
+        let s = build_power_trace(&spec, &phases());
+        let expect = 100.0 * 45.0 + 20.0 * 47.0 + 80.0 * 170.0;
+        assert!(
+            (s.energy_j - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            s.energy_j
+        );
+        assert!((s.duration_s - 200.0).abs() < 1e-9);
+        assert!((s.avg_power_w - expect / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_rate_matches_machine() {
+        let summit = build_power_trace(&Machine::Summit.spec(), &phases());
+        // 1 Hz over 200 s → 201 samples.
+        assert_eq!(summit.samples.len(), 201);
+        let theta = build_power_trace(&Machine::Theta.spec(), &phases());
+        // 2 Hz over 200 s → 401 samples.
+        assert_eq!(theta.samples.len(), 401);
+    }
+
+    #[test]
+    fn samples_reflect_phase_levels() {
+        let s = build_power_trace(&Machine::Summit.spec(), &phases());
+        let at = |t: f64| {
+            s.samples
+                .iter()
+                .find(|(st, _)| (*st - t).abs() < 1e-9)
+                .unwrap()
+                .1
+        };
+        assert_eq!(at(50.0), 45.0);
+        assert_eq!(at(110.0), 47.0);
+        assert_eq!(at(150.0), 170.0);
+    }
+
+    #[test]
+    fn gaps_idle_the_device() {
+        let spec = Machine::Summit.spec();
+        let s = build_power_trace(
+            &spec,
+            &[
+                PowerPhase {
+                    name: "a".into(),
+                    start_s: 0.0,
+                    duration_s: 10.0,
+                    power_w: 100.0,
+                },
+                PowerPhase {
+                    name: "b".into(),
+                    start_s: 20.0,
+                    duration_s: 10.0,
+                    power_w: 100.0,
+                },
+            ],
+        );
+        let expect = 10.0 * 100.0 + 10.0 * spec.power.idle_w + 10.0 * 100.0;
+        assert!((s.energy_j - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "before previous end")]
+    fn overlapping_phases_panic() {
+        build_power_trace(
+            &Machine::Summit.spec(),
+            &[
+                PowerPhase {
+                    name: "a".into(),
+                    start_s: 0.0,
+                    duration_s: 10.0,
+                    power_w: 1.0,
+                },
+                PowerPhase {
+                    name: "b".into(),
+                    start_s: 5.0,
+                    duration_s: 1.0,
+                    power_w: 1.0,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn csv_export_roundtrip() {
+        let s = build_power_trace(&Machine::Summit.spec(), &phases());
+        let dir = std::env::temp_dir().join("candle_repro_power_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        s.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "time_s,power_w");
+        assert_eq!(lines.len(), s.samples.len() + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_schedule_is_zero_energy() {
+        let s = build_power_trace(&Machine::Summit.spec(), &[]);
+        assert_eq!(s.energy_j, 0.0);
+        assert_eq!(s.duration_s, 0.0);
+    }
+}

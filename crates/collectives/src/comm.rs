@@ -1,0 +1,428 @@
+//! The communicator: point-to-point mailboxes plus the collectives built on
+//! them.
+//!
+//! Every rank owns a `Communicator` holding a sender to each peer and its
+//! own receiver. Messages carry `(src, tag)` so the receiver can match the
+//! message a collective step expects even if another peer's message arrives
+//! first. Tags are derived from a per-rank operation counter; because all
+//! ranks execute the same sequence of collectives (the SPMD contract that
+//! Horovod also relies on), counters stay aligned without negotiation.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a collective waits on a silent peer before declaring it lost.
+/// Collectives in this workspace exchange messages within a batch step, so
+/// ten seconds of silence means a dead or wedged worker, not a slow one.
+const PEER_TIMEOUT: Duration = Duration::from_secs(10);
+
+use crate::CommError;
+
+/// A tagged point-to-point message.
+#[derive(Debug)]
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Vec<f32>,
+}
+
+/// Aggregate communication counters for one rank, used by the performance
+/// model and the experiment reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Completed allreduce operations.
+    pub allreduce_calls: u64,
+    /// Total f32 elements this rank contributed to allreduces.
+    pub allreduce_elements: u64,
+    /// Completed broadcast operations.
+    pub broadcast_calls: u64,
+    /// Total f32 elements broadcast through this rank.
+    pub broadcast_elements: u64,
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+}
+
+/// One rank's endpoint in a fixed-size communicator world.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    pending: Vec<Msg>,
+    op_counter: u64,
+    stats: CommStats,
+    barrier: Arc<std::sync::Barrier>,
+    barrier_generation: Arc<AtomicU64>,
+}
+
+impl Communicator {
+    /// Creates the full world of `size` connected communicators, one per
+    /// rank.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn world(size: usize) -> Vec<Communicator> {
+        assert!(size > 0, "communicator size must be positive");
+        let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..size).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let barrier = Arc::new(std::sync::Barrier::new(size));
+        let generation = Arc::new(AtomicU64::new(0));
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, receiver))| Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending: Vec::new(),
+                op_counter: 0,
+                stats: CommStats::default(),
+                barrier: Arc::clone(&barrier),
+                barrier_generation: Arc::clone(&generation),
+            })
+            .collect()
+    }
+
+    /// This rank's id (`hvd.rank()`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`hvd.size()`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Local rank within a simulated node of `gpus_per_node` devices
+    /// (`hvd.local_rank()`, used for GPU pinning on Summit).
+    pub fn local_rank(&self, gpus_per_node: usize) -> usize {
+        assert!(gpus_per_node > 0);
+        self.rank % gpus_per_node
+    }
+
+    /// Communication counters accumulated so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Sends `payload` to `dst` under the current operation id and `step`.
+    pub(crate) fn send(
+        &mut self,
+        dst: usize,
+        step: u32,
+        payload: Vec<f32>,
+    ) -> Result<(), CommError> {
+        let tag = (self.op_counter << 16) | step as u64;
+        self.stats.messages_sent += 1;
+        self.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| CommError::PeerLost { rank: dst })
+    }
+
+    /// Receives the message from `src` with the current operation id and
+    /// `step`, buffering out-of-order arrivals.
+    ///
+    /// Bounded wait: every rank holds sender clones to every mailbox
+    /// (including its own), so a plain `recv()` would never observe
+    /// disconnection when a peer dies mid-collective — the whole world
+    /// would hang. A generous timeout converts that hang into
+    /// [`CommError::PeerLost`], which the worker surfaces as a panic that
+    /// `run_workers` propagates.
+    pub(crate) fn recv(&mut self, src: usize, step: u32) -> Result<Vec<f32>, CommError> {
+        let tag = (self.op_counter << 16) | step as u64;
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return Ok(self.pending.swap_remove(pos).payload);
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv_timeout(PEER_TIMEOUT)
+                .map_err(|_| CommError::PeerLost { rank: src })?;
+            if msg.src == src && msg.tag == tag {
+                return Ok(msg.payload);
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Starts a new collective operation; all ranks must call collectives in
+    /// the same order.
+    pub(crate) fn next_op(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.op_counter
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&mut self) {
+        self.next_op();
+        self.barrier.wait();
+        self.barrier_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// In-place average-allreduce using the ring algorithm (the default
+    /// path, mirroring Horovod-on-NCCL).
+    pub fn allreduce_mean(&mut self, data: &mut [f32]) -> Result<(), CommError> {
+        crate::ring::ring_allreduce(self, data)?;
+        let inv = 1.0 / self.size as f32;
+        for x in data.iter_mut() {
+            *x *= inv;
+        }
+        Ok(())
+    }
+
+    /// In-place sum-allreduce using the ring algorithm.
+    pub fn allreduce_sum(&mut self, data: &mut [f32]) -> Result<(), CommError> {
+        crate::ring::ring_allreduce(self, data)
+    }
+
+    /// Binomial-tree broadcast from `root`, the `MPI_Bcast` pattern used by
+    /// `BroadcastGlobalVariablesHook`.
+    pub fn broadcast(&mut self, root: usize, data: &mut [f32]) -> Result<(), CommError> {
+        assert!(root < self.size, "broadcast root {root} out of range");
+        self.next_op();
+        let n = self.size;
+        if n == 1 {
+            self.record_broadcast(data.len());
+            return Ok(());
+        }
+        // Re-index so the root is virtual rank 0.
+        let vrank = (self.rank + n - root) % n;
+        // Receive phase: find the step at which this rank's subtree parent
+        // sends to it.
+        let mut received = vrank == 0;
+        let mut mask = 1usize;
+        let mut step: u32 = 0;
+        while mask < n {
+            if !received && vrank < mask * 2 && vrank >= mask {
+                let vparent = vrank - mask;
+                let parent = (vparent + root) % n;
+                let payload = self.recv(parent, step)?;
+                if payload.len() != data.len() {
+                    return Err(CommError::SizeMismatch {
+                        expected: data.len(),
+                        actual: payload.len(),
+                    });
+                }
+                data.copy_from_slice(&payload);
+                received = true;
+            } else if received && vrank < mask {
+                let vchild = vrank + mask;
+                if vchild < n {
+                    let child = (vchild + root) % n;
+                    self.send(child, step, data.to_vec())?;
+                }
+            }
+            mask *= 2;
+            step += 1;
+        }
+        self.record_broadcast(data.len());
+        Ok(())
+    }
+
+    /// Gathers equal-sized contributions from all ranks, concatenated in
+    /// rank order, via an allgather ring.
+    pub fn allgather(&mut self, mine: &[f32]) -> Result<Vec<f32>, CommError> {
+        self.next_op();
+        let n = self.size;
+        let seg = mine.len();
+        let mut out = vec![0.0f32; seg * n];
+        out[self.rank * seg..(self.rank + 1) * seg].copy_from_slice(mine);
+        if n == 1 {
+            return Ok(out);
+        }
+        let next = (self.rank + 1) % n;
+        let prev = (self.rank + n - 1) % n;
+        // Ring allgather: at step s, forward the segment originally owned by
+        // (rank - s) mod n.
+        for s in 0..n - 1 {
+            let send_owner = (self.rank + n - s) % n;
+            let recv_owner = (self.rank + n - s - 1) % n;
+            let payload = out[send_owner * seg..(send_owner + 1) * seg].to_vec();
+            self.send(next, s as u32, payload)?;
+            let received = self.recv(prev, s as u32)?;
+            if received.len() != seg {
+                return Err(CommError::SizeMismatch {
+                    expected: seg,
+                    actual: received.len(),
+                });
+            }
+            out[recv_owner * seg..(recv_owner + 1) * seg].copy_from_slice(&received);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn record_allreduce(&mut self, elements: usize) {
+        self.stats.allreduce_calls += 1;
+        self.stats.allreduce_elements += elements as u64;
+    }
+
+    fn record_broadcast(&mut self, elements: usize) {
+        self.stats.broadcast_calls += 1;
+        self.stats.broadcast_elements += elements as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_workers;
+
+    #[test]
+    fn world_has_distinct_ranks() {
+        let world = Communicator::world(4);
+        let ranks: Vec<usize> = world.iter().map(|c| c.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+        assert!(world.iter().all(|c| c.size() == 4));
+    }
+
+    #[test]
+    fn local_rank_wraps_per_node() {
+        let world = Communicator::world(12);
+        // 6 GPUs per Summit node.
+        assert_eq!(world[0].local_rank(6), 0);
+        assert_eq!(world[5].local_rank(6), 5);
+        assert_eq!(world[6].local_rank(6), 0);
+        assert_eq!(world[11].local_rank(6), 5);
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..5 {
+            let results = run_workers(5, move |comm| {
+                let mut data = if comm.rank() == root {
+                    vec![42.0, 7.0, -1.0]
+                } else {
+                    vec![0.0; 3]
+                };
+                comm.broadcast(root, &mut data).unwrap();
+                data
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, 7.0, -1.0], "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_single_rank_is_identity() {
+        let results = run_workers(1, |comm| {
+            let mut data = vec![1.0, 2.0];
+            comm.broadcast(0, &mut data).unwrap();
+            data
+        });
+        assert_eq!(results[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let results = run_workers(4, |comm| {
+            let mine = vec![comm.rank() as f32 * 10.0, comm.rank() as f32 * 10.0 + 1.0];
+            comm.allgather(&mine).unwrap()
+        });
+        let expect = vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0];
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let results = run_workers(6, move |comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must see all increments.
+            c2.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn stats_count_broadcasts() {
+        let results = run_workers(3, |comm| {
+            let mut d = vec![0.0f32; 10];
+            comm.broadcast(0, &mut d).unwrap();
+            comm.broadcast(0, &mut d).unwrap();
+            comm.stats().clone()
+        });
+        for s in &results {
+            assert_eq!(s.broadcast_calls, 2);
+            assert_eq!(s.broadcast_elements, 20);
+        }
+        // Root sends messages; leaves may not.
+        assert!(results[0].messages_sent > 0);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::world::run_workers;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn broadcast_any_root_any_size(
+                n in 1usize..7,
+                root_pick in 0usize..7,
+                len in 0usize..40,
+                seed in 0u64..100
+            ) {
+                use xrng::RandomSource;
+                let root = root_pick % n;
+                let mut rng = xrng::seeded(seed);
+                let payload: Vec<f32> = (0..len).map(|_| rng.next_f32()).collect();
+                let expect = payload.clone();
+                let results = run_workers(n, move |comm| {
+                    let mut data = if comm.rank() == root {
+                        payload.clone()
+                    } else {
+                        vec![0.0; len]
+                    };
+                    comm.broadcast(root, &mut data).unwrap();
+                    data
+                });
+                for r in results {
+                    prop_assert_eq!(&r, &expect);
+                }
+            }
+
+            #[test]
+            fn allgather_roundtrip(n in 1usize..6, seg in 0usize..16) {
+                let results = run_workers(n, move |comm| {
+                    let mine: Vec<f32> = (0..seg).map(|i| (comm.rank() * 100 + i) as f32).collect();
+                    comm.allgather(&mine).unwrap()
+                });
+                for r in &results {
+                    prop_assert_eq!(r.len(), seg * n);
+                    for rank in 0..n {
+                        for i in 0..seg {
+                            prop_assert_eq!(r[rank * seg + i], (rank * 100 + i) as f32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root 9 out of range")]
+    fn broadcast_invalid_root_panics() {
+        let mut world = Communicator::world(2);
+        let mut data = vec![0.0];
+        // Call directly on rank 0 (will panic before any communication).
+        world[0].broadcast(9, &mut data).unwrap();
+    }
+}

@@ -1,0 +1,160 @@
+//! Tensor fusion — Horovod's batching of small allreduce payloads.
+//!
+//! Horovod coalesces tensors that are ready at the same moment into a
+//! single fused buffer (64 MB by default) so that many tiny allreduces —
+//! which would each pay the ring's latency term — become a few large ones.
+//! This module implements the planning logic: given the sizes of the
+//! gradient tensors of a model, produce the fused groups. The plan drives
+//! both the functional runtime (how many allreduce calls happen) and the
+//! analytic communication model in the `cluster` crate (latency × calls +
+//! bytes / bandwidth).
+
+/// Horovod's default fusion threshold (64 MB).
+pub const DEFAULT_FUSION_THRESHOLD_BYTES: usize = 64 * 1024 * 1024;
+
+/// A fusion plan: which tensors are coalesced into which fused buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    /// For each fused group, the indices of the member tensors.
+    groups: Vec<Vec<usize>>,
+    /// For each fused group, the total element count.
+    group_elements: Vec<usize>,
+}
+
+impl FusionPlan {
+    /// Plans fusion for tensors of the given element counts with a byte
+    /// threshold per fused buffer. Tensors are packed greedily in order
+    /// (gradients become ready back-to-front during backprop, and Horovod
+    /// fuses in readiness order). A tensor larger than the threshold gets
+    /// its own group.
+    ///
+    /// # Panics
+    /// Panics if `threshold_bytes == 0`.
+    pub fn plan(tensor_elements: &[usize], threshold_bytes: usize) -> Self {
+        assert!(threshold_bytes > 0, "fusion threshold must be positive");
+        let threshold_elems = (threshold_bytes / std::mem::size_of::<f32>()).max(1);
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_elements = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_elems = 0usize;
+        for (idx, &n) in tensor_elements.iter().enumerate() {
+            if !current.is_empty() && current_elems + n > threshold_elems {
+                groups.push(std::mem::take(&mut current));
+                group_elements.push(current_elems);
+                current_elems = 0;
+            }
+            current.push(idx);
+            current_elems += n;
+        }
+        if !current.is_empty() {
+            groups.push(current);
+            group_elements.push(current_elems);
+        }
+        Self {
+            groups,
+            group_elements,
+        }
+    }
+
+    /// A degenerate plan with one tensor per group (fusion disabled), for
+    /// the ablation benchmark.
+    pub fn unfused(tensor_elements: &[usize]) -> Self {
+        Self {
+            groups: (0..tensor_elements.len()).map(|i| vec![i]).collect(),
+            group_elements: tensor_elements.to_vec(),
+        }
+    }
+
+    /// Number of collective calls the plan requires.
+    pub fn num_calls(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Member tensor indices of each fused group.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Element counts of each fused group.
+    pub fn group_elements(&self) -> &[usize] {
+        &self.group_elements
+    }
+
+    /// Total elements across all groups.
+    pub fn total_elements(&self) -> usize {
+        self.group_elements.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_tensors_fuse_into_one_group() {
+        // 10 tensors of 1000 floats = 40 KB, far below 64 MB.
+        let sizes = vec![1000; 10];
+        let plan = FusionPlan::plan(&sizes, DEFAULT_FUSION_THRESHOLD_BYTES);
+        assert_eq!(plan.num_calls(), 1);
+        assert_eq!(plan.total_elements(), 10_000);
+    }
+
+    #[test]
+    fn threshold_splits_groups() {
+        // Threshold of 16 bytes = 4 floats; tensors of 3 floats each.
+        let sizes = vec![3; 5];
+        let plan = FusionPlan::plan(&sizes, 16);
+        // Each group fits one tensor (3+3 > 4).
+        assert_eq!(plan.num_calls(), 5);
+    }
+
+    #[test]
+    fn oversized_tensor_gets_own_group() {
+        let sizes = vec![2, 100, 2];
+        let plan = FusionPlan::plan(&sizes, 16); // 4-float threshold
+        assert_eq!(plan.groups()[0], vec![0]);
+        assert_eq!(plan.groups()[1], vec![1]);
+        assert_eq!(plan.groups()[2], vec![2]);
+    }
+
+    #[test]
+    fn unfused_plan_is_one_call_per_tensor() {
+        let sizes = vec![10, 20, 30];
+        let plan = FusionPlan::unfused(&sizes);
+        assert_eq!(plan.num_calls(), 3);
+        assert_eq!(plan.group_elements(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_plan() {
+        let plan = FusionPlan::plan(&[], 1024);
+        assert_eq!(plan.num_calls(), 0);
+        assert_eq!(plan.total_elements(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        FusionPlan::plan(&[1], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn plan_preserves_all_tensors_in_order(
+            sizes in proptest::collection::vec(1usize..10_000, 0..50),
+            threshold in 1usize..100_000
+        ) {
+            let plan = FusionPlan::plan(&sizes, threshold);
+            let flattened: Vec<usize> = plan.groups().iter().flatten().copied().collect();
+            prop_assert_eq!(flattened, (0..sizes.len()).collect::<Vec<_>>());
+            prop_assert_eq!(plan.total_elements(), sizes.iter().sum::<usize>());
+            // Group element counts agree with membership.
+            for (g, &elems) in plan.groups().iter().zip(plan.group_elements()) {
+                prop_assert_eq!(g.iter().map(|&i| sizes[i]).sum::<usize>(), elems);
+            }
+            // Fusion never produces more calls than the unfused plan.
+            prop_assert!(plan.num_calls() <= sizes.len().max(1));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Hierarchical (two-level) allreduce.
+//!
+//! NCCL on Summit exploits the node structure: 6 GPUs share NVLink inside
+//! an AC922 node, and only node leaders cross the InfiniBand fabric. The
+//! two-level algorithm — intra-node reduce to a leader, ring allreduce
+//! among leaders, intra-node broadcast — moves `(n/g−1)/(n/g)` of the data
+//! across the slow fabric instead of `(n−1)/n` with a flat ring over all
+//! ranks, and shrinks the latency chain from `n−1` hops to `g−1 + n/g−1`.
+//!
+//! This module provides the *functional* implementation used by the
+//! ablation benchmark; the analytic counterpart lives in
+//! `cluster::comm`.
+
+use crate::comm::Communicator;
+use crate::ring::ring_allreduce;
+use crate::CommError;
+
+/// In-place **sum** allreduce using the two-level algorithm with
+/// `per_node` ranks per simulated node.
+///
+/// Works for any world size; a trailing partial node is handled like a
+/// full one. With `per_node == 1` this degenerates to the flat ring.
+///
+/// # Panics
+/// Panics if `per_node == 0`.
+pub fn hierarchical_allreduce(
+    comm: &mut Communicator,
+    data: &mut [f32],
+    per_node: usize,
+) -> Result<(), CommError> {
+    assert!(per_node > 0, "per_node must be positive");
+    let n = comm.size();
+    let rank = comm.rank();
+    if per_node == 1 || n <= per_node {
+        // Single level suffices.
+        return ring_allreduce(comm, data);
+    }
+    comm.next_op();
+    comm.record_allreduce(data.len());
+    let node = rank / per_node;
+    let local = rank % per_node;
+    let leader = node * per_node;
+    let node_size = per_node.min(n - leader);
+
+    // Level 1 — intra-node reduce to the leader.
+    if local == 0 {
+        for member in 1..node_size {
+            let incoming = comm.recv(leader + member, member as u32)?;
+            if incoming.len() != data.len() {
+                return Err(CommError::SizeMismatch {
+                    expected: data.len(),
+                    actual: incoming.len(),
+                });
+            }
+            for (d, &x) in data.iter_mut().zip(&incoming) {
+                *d += x;
+            }
+        }
+    } else {
+        comm.send(leader, local as u32, data.to_vec())?;
+    }
+
+    // Level 2 — ring allreduce among leaders only. Non-leaders must still
+    // advance their op counter to stay aligned with the leaders' extra
+    // collective.
+    if local == 0 {
+        leaders_ring(comm, data, per_node)?;
+    } else {
+        comm.next_op();
+    }
+
+    // Level 3 — intra-node broadcast of the result.
+    if local == 0 {
+        for member in 1..node_size {
+            comm.send(leader + member, (per_node + member) as u32, data.to_vec())?;
+        }
+    } else {
+        let incoming = comm.recv(leader, (per_node + local) as u32)?;
+        if incoming.len() != data.len() {
+            return Err(CommError::SizeMismatch {
+                expected: data.len(),
+                actual: incoming.len(),
+            });
+        }
+        data.copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// Ring allreduce over the node leaders (ranks `0, g, 2g, …`), expressed
+/// directly over the mailboxes since the leader set is a strided subgroup.
+fn leaders_ring(
+    comm: &mut Communicator,
+    data: &mut [f32],
+    per_node: usize,
+) -> Result<(), CommError> {
+    comm.next_op();
+    let n = comm.size();
+    let nodes = n.div_ceil(per_node);
+    if nodes == 1 {
+        return Ok(());
+    }
+    let my_node = comm.rank() / per_node;
+    let next = ((my_node + 1) % nodes) * per_node;
+    let prev = ((my_node + nodes - 1) % nodes) * per_node;
+    let len = data.len();
+    let seg = |i: usize| -> (usize, usize) {
+        let base = len / nodes;
+        let extra = len % nodes;
+        let start = i * base + i.min(extra);
+        (start, start + base + usize::from(i < extra))
+    };
+    // Reduce-scatter among leaders.
+    for step in 0..nodes - 1 {
+        let send_seg = (my_node + nodes - step) % nodes;
+        let recv_seg = (my_node + nodes - step - 1) % nodes;
+        let (ss, se) = seg(send_seg);
+        comm.send(next, step as u32, data[ss..se].to_vec())?;
+        let incoming = comm.recv(prev, step as u32)?;
+        let (rs, re) = seg(recv_seg);
+        if incoming.len() != re - rs {
+            return Err(CommError::SizeMismatch {
+                expected: re - rs,
+                actual: incoming.len(),
+            });
+        }
+        for (d, &x) in data[rs..re].iter_mut().zip(&incoming) {
+            *d += x;
+        }
+    }
+    // Allgather among leaders.
+    for step in 0..nodes - 1 {
+        let send_seg = (my_node + 1 + nodes - step) % nodes;
+        let recv_seg = (my_node + nodes - step) % nodes;
+        let (ss, se) = seg(send_seg);
+        let tag = (nodes - 1 + step) as u32;
+        comm.send(next, tag, data[ss..se].to_vec())?;
+        let incoming = comm.recv(prev, tag)?;
+        let (rs, re) = seg(recv_seg);
+        if incoming.len() != re - rs {
+            return Err(CommError::SizeMismatch {
+                expected: re - rs,
+                actual: incoming.len(),
+            });
+        }
+        data[rs..re].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_workers;
+
+    fn check(n: usize, per_node: usize, len: usize) {
+        let results = run_workers(n, move |comm| {
+            let rank = comm.rank() as f32;
+            let mut data: Vec<f32> = (0..len).map(|i| rank + i as f32).collect();
+            hierarchical_allreduce(comm, &mut data, per_node).unwrap();
+            data
+        });
+        let rank_sum = (n * (n - 1) / 2) as f32;
+        for (r, result) in results.iter().enumerate() {
+            for (i, &x) in result.iter().enumerate() {
+                let expect = n as f32 * i as f32 + rank_sum;
+                assert!(
+                    (x - expect).abs() < 1e-3,
+                    "n={n} g={per_node} rank={r} i={i}: {x} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_flat_ring_results() {
+        check(6, 3, 64); // 2 full nodes
+        check(8, 4, 32); // 2 full nodes
+        check(4, 2, 10);
+    }
+
+    #[test]
+    fn partial_trailing_node() {
+        check(7, 3, 48); // nodes of 3,3,1
+        check(5, 2, 16); // nodes of 2,2,1
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        check(4, 1, 16); // per_node=1 -> flat ring
+        check(3, 8, 16); // single node -> flat ring
+        check(1, 2, 8); // one rank
+    }
+
+    #[test]
+    fn short_buffers() {
+        check(6, 2, 2); // fewer elements than leaders
+        check(6, 3, 0); // empty buffer
+    }
+
+    #[test]
+    fn repeated_calls_stay_aligned() {
+        let results = run_workers(6, |comm| {
+            let mut acc = vec![1.0f32; 32];
+            for _ in 0..10 {
+                hierarchical_allreduce(comm, &mut acc, 3).unwrap();
+                for x in acc.iter_mut() {
+                    *x /= 6.0;
+                }
+            }
+            acc
+        });
+        for r in results {
+            for x in r {
+                assert!((x - 1.0).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn mixing_with_other_collectives_stays_aligned() {
+        // Hierarchical allreduce interleaved with broadcast and flat ring:
+        // op counters must remain consistent across ranks.
+        let results = run_workers(6, |comm| {
+            let mut a = vec![comm.rank() as f32; 8];
+            hierarchical_allreduce(comm, &mut a, 3).unwrap();
+            let mut b = vec![comm.rank() as f32; 4];
+            comm.broadcast(2, &mut b).unwrap();
+            let mut c = vec![1.0f32; 6];
+            comm.allreduce_sum(&mut c).unwrap();
+            (a[0], b[0], c[0])
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, 15.0); // sum 0..5
+            assert_eq!(b, 2.0); // root 2's value
+            assert_eq!(c, 6.0); // 1.0 × 6 ranks
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per_node must be positive")]
+    fn zero_per_node_panics() {
+        let mut world = Communicator::world(2);
+        let mut data = vec![0.0f32; 4];
+        hierarchical_allreduce(&mut world[0], &mut data, 0).unwrap();
+    }
+}

@@ -1,0 +1,67 @@
+//! `collectives` — a Horovod-style distributed data-parallel runtime.
+//!
+//! Horovod layers MPI/NCCL collectives (allreduce, broadcast, allgather)
+//! under TensorFlow by wrapping the optimizer. This crate reproduces that
+//! architecture with **simulated workers as OS threads** and **real
+//! collective algorithms** over point-to-point mailboxes:
+//!
+//! * [`ring_allreduce`] — the bandwidth-optimal ring algorithm NCCL uses
+//!   (reduce-scatter + allgather, `2(n−1)/n` data volume per rank);
+//! * [`naive_allreduce`] — reduce-to-root + broadcast, kept as the ablation
+//!   baseline;
+//! * [`Communicator::broadcast`] — binomial-tree broadcast, as
+//!   `MPI_Bcast` implements it (the paper's `BroadcastGlobalVariablesHook`
+//!   path);
+//! * [`FusionPlan`] — Horovod's tensor-fusion batching of small tensors
+//!   into larger collective payloads;
+//! * [`DistributedOptimizer`] — implements `dlframe::GradientSync` by
+//!   averaging gradients across all ranks after every batch step, exactly
+//!   where Horovod splices its allreduce;
+//! * [`Timeline`] — an event recorder that writes Chrome-trace JSON, the
+//!   same format as the Horovod timeline shown in the paper's Figures 7,
+//!   12, and 19.
+//!
+//! The transport is in-process (threads + channels) rather than MPI, but
+//! the communication *pattern* — who sends what to whom and in what order —
+//! matches the real systems, which is what the paper's analysis depends on.
+
+mod comm;
+mod fusion;
+mod hierarchical;
+mod optimizer;
+mod ring;
+mod timeline;
+mod world;
+
+pub use comm::{CommStats, Communicator};
+pub use fusion::{FusionPlan, DEFAULT_FUSION_THRESHOLD_BYTES};
+pub use hierarchical::hierarchical_allreduce;
+pub use optimizer::DistributedOptimizer;
+pub use ring::{naive_allreduce, ring_allreduce};
+pub use timeline::{Timeline, TimelineEvent};
+pub use world::{broadcast_parameters, run_workers};
+
+/// Errors from collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer disconnected mid-collective (worker panicked).
+    PeerLost { rank: usize },
+    /// Collective called with inconsistent buffer sizes across ranks.
+    SizeMismatch { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerLost { rank } => write!(f, "peer rank {rank} disconnected"),
+            CommError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "collective size mismatch: expected {expected}, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

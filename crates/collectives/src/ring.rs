@@ -1,0 +1,241 @@
+//! Allreduce algorithms.
+//!
+//! [`ring_allreduce`] is the bandwidth-optimal algorithm used by NCCL and
+//! baidu-allreduce (the lineage the paper cites for Horovod): a
+//! reduce-scatter phase followed by an allgather phase, each of `n−1`
+//! neighbour exchanges over a logical ring. Every rank moves `2(n−1)/n ×
+//! |data|` elements regardless of `n`, which is why it scales.
+//!
+//! [`naive_allreduce`] (reduce-to-root then broadcast) is kept as the
+//! ablation baseline; its root link carries `O(n × |data|)`.
+
+use crate::comm::Communicator;
+use crate::CommError;
+
+/// Balanced segment bounds: segment `i` of `n` over `len` elements.
+/// Unlike `parx::chunk_ranges`, segments may be empty (needed when the
+/// buffer is shorter than the ring).
+fn segment(len: usize, n: usize, i: usize) -> (usize, usize) {
+    let base = len / n;
+    let extra = len % n;
+    let start = i * base + i.min(extra);
+    let seg_len = base + usize::from(i < extra);
+    (start, start + seg_len)
+}
+
+/// In-place **sum** allreduce over the ring.
+///
+/// All ranks must pass buffers of identical length and call collectives in
+/// the same order.
+pub fn ring_allreduce(comm: &mut Communicator, data: &mut [f32]) -> Result<(), CommError> {
+    comm.next_op();
+    let n = comm.size();
+    let rank = comm.rank();
+    comm.record_allreduce(data.len());
+    if n == 1 {
+        return Ok(());
+    }
+    let next = (rank + 1) % n;
+    let prev = (rank + n - 1) % n;
+    let len = data.len();
+
+    // Phase 1 — reduce-scatter: after n−1 steps, rank r holds the fully
+    // reduced segment (r+1) mod n.
+    for step in 0..n - 1 {
+        let send_seg = (rank + n - step) % n;
+        let recv_seg = (rank + n - step - 1) % n;
+        let (ss, se) = segment(len, n, send_seg);
+        comm.send(next, step as u32, data[ss..se].to_vec())?;
+        let incoming = comm.recv(prev, step as u32)?;
+        let (rs, re) = segment(len, n, recv_seg);
+        if incoming.len() != re - rs {
+            return Err(CommError::SizeMismatch {
+                expected: re - rs,
+                actual: incoming.len(),
+            });
+        }
+        for (d, &x) in data[rs..re].iter_mut().zip(&incoming) {
+            *d += x;
+        }
+    }
+
+    // Phase 2 — allgather: circulate the finished segments.
+    for step in 0..n - 1 {
+        let send_seg = (rank + 1 + n - step) % n;
+        let recv_seg = (rank + n - step) % n;
+        let (ss, se) = segment(len, n, send_seg);
+        // Offset the tag space past phase 1 so the two phases cannot alias.
+        let tag = (n - 1 + step) as u32;
+        comm.send(next, tag, data[ss..se].to_vec())?;
+        let incoming = comm.recv(prev, tag)?;
+        let (rs, re) = segment(len, n, recv_seg);
+        if incoming.len() != re - rs {
+            return Err(CommError::SizeMismatch {
+                expected: re - rs,
+                actual: incoming.len(),
+            });
+        }
+        data[rs..re].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// In-place **sum** allreduce via gather-to-root + broadcast — the naive
+/// baseline for the ablation benchmark.
+pub fn naive_allreduce(comm: &mut Communicator, data: &mut [f32]) -> Result<(), CommError> {
+    comm.next_op();
+    let n = comm.size();
+    let rank = comm.rank();
+    comm.record_allreduce(data.len());
+    if n == 1 {
+        return Ok(());
+    }
+    if rank == 0 {
+        for src in 1..n {
+            let incoming = comm.recv(src, 0)?;
+            if incoming.len() != data.len() {
+                return Err(CommError::SizeMismatch {
+                    expected: data.len(),
+                    actual: incoming.len(),
+                });
+            }
+            for (d, &x) in data.iter_mut().zip(&incoming) {
+                *d += x;
+            }
+        }
+    } else {
+        comm.send(0, 0, data.to_vec())?;
+    }
+    comm.broadcast(0, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_workers;
+    use proptest::prelude::*;
+
+    #[test]
+    fn segment_bounds_partition() {
+        for len in [0usize, 1, 5, 16, 17] {
+            for n in [1usize, 2, 3, 7, 20] {
+                let mut cursor = 0;
+                for i in 0..n {
+                    let (s, e) = segment(len, n, i);
+                    assert_eq!(s, cursor, "len {len} n {n} i {i}");
+                    assert!(e >= s);
+                    cursor = e;
+                }
+                assert_eq!(cursor, len);
+            }
+        }
+    }
+
+    fn check_sum_allreduce(n: usize, len: usize, ring: bool) {
+        let results = run_workers(n, move |comm| {
+            let rank = comm.rank() as f32;
+            let mut data: Vec<f32> = (0..len).map(|i| rank + i as f32).collect();
+            if ring {
+                ring_allreduce(comm, &mut data).unwrap();
+            } else {
+                naive_allreduce(comm, &mut data).unwrap();
+            }
+            data
+        });
+        // Expected: sum over ranks of (rank + i) = n*i + n(n-1)/2.
+        let rank_sum = (n * (n - 1) / 2) as f32;
+        for r in &results {
+            for (i, &x) in r.iter().enumerate() {
+                let expect = n as f32 * i as f32 + rank_sum;
+                assert!(
+                    (x - expect).abs() < 1e-3,
+                    "n={n} len={len} i={i}: {x} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_various_world_sizes() {
+        for n in [1usize, 2, 3, 4, 7, 8] {
+            check_sum_allreduce(n, 64, true);
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_buffer_shorter_than_ring() {
+        // len < n forces empty segments.
+        check_sum_allreduce(6, 3, true);
+        check_sum_allreduce(5, 1, true);
+        check_sum_allreduce(4, 0, true);
+    }
+
+    #[test]
+    fn naive_allreduce_matches() {
+        for n in [1usize, 2, 5] {
+            check_sum_allreduce(n, 32, false);
+        }
+    }
+
+    #[test]
+    fn mean_allreduce_averages() {
+        let results = run_workers(4, |comm| {
+            let mut data = vec![comm.rank() as f32; 10];
+            comm.allreduce_mean(&mut data).unwrap();
+            data
+        });
+        for r in results {
+            for x in r {
+                assert!((x - 1.5).abs() < 1e-6); // mean of 0,1,2,3
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_stay_aligned() {
+        let results = run_workers(3, |comm| {
+            let mut acc = vec![1.0f32; 8];
+            for _ in 0..20 {
+                comm.allreduce_mean(&mut acc).unwrap();
+            }
+            acc
+        });
+        for r in results {
+            for x in r {
+                assert!((x - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn ring_equals_local_sum(n in 1usize..6, len in 0usize..40, seed in 0u64..50) {
+            use xrng::RandomSource;
+            // Generate per-rank vectors up front so the expected sum is known.
+            let inputs: Vec<Vec<f32>> = (0..n)
+                .map(|r| {
+                    let mut rng = xrng::seeded(xrng::derive_seed(seed, r as u64));
+                    (0..len).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+                })
+                .collect();
+            let mut expected = vec![0.0f32; len];
+            for v in &inputs {
+                for (e, &x) in expected.iter_mut().zip(v) {
+                    *e += x;
+                }
+            }
+            let inputs2 = inputs.clone();
+            let results = run_workers(n, move |comm| {
+                let mut data = inputs2[comm.rank()].clone();
+                ring_allreduce(comm, &mut data).unwrap();
+                data
+            });
+            for r in &results {
+                for (a, b) in r.iter().zip(&expected) {
+                    prop_assert!((a - b).abs() < 1e-3);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! CSV engine: writer, parser, and the three reader strategies under
+//! comparison in the paper's Tables 3 and 4.
+
+mod parser;
+mod readers;
+mod writer;
+
+pub use parser::{parse_chunk_typed, split_fields};
+pub use readers::{read_csv, LoadStats, ReadStrategy};
+pub use writer::write_matrix_csv;

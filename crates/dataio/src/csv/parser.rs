@@ -1,0 +1,138 @@
+//! Field splitting and typed chunk parsing.
+//!
+//! The CANDLE csv files are plain numeric tables (no quoting, no headers in
+//! the training matrices), so the splitter is a simple comma scanner. The
+//! typed chunk parser reproduces the column-materialization work pandas'
+//! `low_memory=True` path performs per internal chunk: token gathering into
+//! per-column vectors, a dtype-inference scan, then typed conversion.
+
+use crate::frame::{Column, Frame};
+use crate::schema::{infer_dtype, unify, Dtype};
+use crate::DataError;
+
+/// Splits one CSV record into trimmed fields.
+pub fn split_fields(line: &str) -> Vec<&str> {
+    line.trim_end_matches(['\r', '\n']).split(',').collect()
+}
+
+/// Parses a block of complete CSV lines into a typed [`Frame`] the way a
+/// pandas low-memory chunk is materialized:
+///
+/// 1. gather tokens column-wise (one `Vec<&str>` per column),
+/// 2. infer each column's dtype by scanning its tokens,
+/// 3. convert tokens into typed storage.
+///
+/// `expect_cols` enforces rectangularity against the first chunk's width;
+/// pass `None` for the first chunk.
+pub fn parse_chunk_typed(text: &str, expect_cols: Option<usize>) -> Result<Frame, DataError> {
+    let mut columns_tokens: Vec<Vec<&str>> = Vec::new();
+    let mut nrows = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_fields(line);
+        if columns_tokens.is_empty() {
+            let width = expect_cols.unwrap_or(fields.len());
+            if fields.len() != width {
+                return Err(DataError::Malformed(format!(
+                    "row 0 has {} fields, expected {width}",
+                    fields.len()
+                )));
+            }
+            columns_tokens = vec![Vec::new(); width];
+        }
+        if fields.len() != columns_tokens.len() {
+            return Err(DataError::Malformed(format!(
+                "row {nrows} has {} fields, expected {}",
+                fields.len(),
+                columns_tokens.len()
+            )));
+        }
+        for (col, field) in columns_tokens.iter_mut().zip(fields) {
+            col.push(field);
+        }
+        nrows += 1;
+    }
+    let columns = columns_tokens
+        .into_iter()
+        .map(|tokens| {
+            // Dtype inference scan (the extra pass pandas pays per chunk).
+            let mut dtype = Dtype::Int64;
+            for t in &tokens {
+                dtype = unify(dtype, infer_dtype(t));
+                if dtype == Dtype::Str {
+                    break;
+                }
+            }
+            match dtype {
+                Dtype::Int64 => Column::Int64(
+                    tokens
+                        .iter()
+                        .map(|t| t.trim().parse::<i64>().unwrap_or(0))
+                        .collect(),
+                ),
+                Dtype::Float64 => Column::Float64(
+                    tokens
+                        .iter()
+                        .map(|t| t.trim().parse::<f64>().unwrap_or(f64::NAN))
+                        .collect(),
+                ),
+                Dtype::Str => Column::Str(tokens.iter().map(|t| t.to_string()).collect()),
+            }
+        })
+        .collect();
+    Frame::new(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_crlf() {
+        assert_eq!(split_fields("a,b,c\r\n"), vec!["a", "b", "c"]);
+        assert_eq!(split_fields("1,2"), vec!["1", "2"]);
+        assert_eq!(split_fields(""), vec![""]);
+    }
+
+    #[test]
+    fn parses_mixed_dtypes() {
+        let f = parse_chunk_typed("1,2.5,x\n2,3.5,y\n", None).unwrap();
+        assert_eq!(f.nrows(), 2);
+        assert_eq!(f.columns()[0].dtype(), Dtype::Int64);
+        assert_eq!(f.columns()[1].dtype(), Dtype::Float64);
+        assert_eq!(f.columns()[2].dtype(), Dtype::Str);
+    }
+
+    #[test]
+    fn int_column_promoted_by_single_float() {
+        let f = parse_chunk_typed("1\n2.5\n3\n", None).unwrap();
+        assert_eq!(f.columns()[0].dtype(), Dtype::Float64);
+        assert_eq!(f.columns()[0].f32_at(1), 2.5);
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        assert!(parse_chunk_typed("1,2\n3\n", None).is_err());
+    }
+
+    #[test]
+    fn width_enforced_against_expectation() {
+        assert!(parse_chunk_typed("1,2\n", Some(3)).is_err());
+        assert!(parse_chunk_typed("1,2,3\n", Some(3)).is_ok());
+    }
+
+    #[test]
+    fn empty_text_gives_empty_frame() {
+        let f = parse_chunk_typed("", None).unwrap();
+        assert_eq!(f.nrows(), 0);
+        assert_eq!(f.ncols(), 0);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let f = parse_chunk_typed("1,2\n\n3,4\n", None).unwrap();
+        assert_eq!(f.nrows(), 2);
+    }
+}

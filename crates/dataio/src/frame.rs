@@ -1,0 +1,250 @@
+//! A minimal column-oriented data frame.
+//!
+//! Just enough of a DataFrame for the CANDLE ingestion path: typed columns,
+//! fragment concatenation with dtype unification (the expensive step the
+//! pandas-default reader repeats per chunk), and conversion to a dense
+//! `f32` matrix for training.
+
+use crate::schema::{unify, Dtype};
+use crate::DataError;
+
+/// One typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer storage.
+    Int64(Vec<i64>),
+    /// Float storage.
+    Float64(Vec<f64>),
+    /// Text storage.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's dtype.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            Column::Int64(_) => Dtype::Int64,
+            Column::Float64(_) => Dtype::Float64,
+            Column::Str(_) => Dtype::Str,
+        }
+    }
+
+    /// Converts the column to the target dtype (pandas' `astype` during
+    /// fragment unification). String data converts to floats via parsing,
+    /// with unparseable entries becoming NaN.
+    pub fn cast(self, target: Dtype) -> Column {
+        if self.dtype() == target {
+            return self;
+        }
+        match (self, target) {
+            (Column::Int64(v), Dtype::Float64) => {
+                Column::Float64(v.into_iter().map(|x| x as f64).collect())
+            }
+            (Column::Int64(v), Dtype::Str) => {
+                Column::Str(v.into_iter().map(|x| x.to_string()).collect())
+            }
+            (Column::Float64(v), Dtype::Str) => {
+                Column::Str(v.into_iter().map(|x| x.to_string()).collect())
+            }
+            (Column::Float64(v), Dtype::Int64) => {
+                Column::Int64(v.into_iter().map(|x| x as i64).collect())
+            }
+            (Column::Str(v), Dtype::Float64) => Column::Float64(
+                v.into_iter()
+                    .map(|s| s.trim().parse::<f64>().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            (Column::Str(v), Dtype::Int64) => Column::Int64(
+                v.into_iter()
+                    .map(|s| s.trim().parse::<i64>().unwrap_or(0))
+                    .collect(),
+            ),
+            (col, _) => col,
+        }
+    }
+
+    /// Appends another column's values, promoting dtypes as needed.
+    pub fn extend(self, other: Column) -> Column {
+        let target = unify(self.dtype(), other.dtype());
+        let mut a = self.cast(target);
+        let b = other.cast(target);
+        match (&mut a, b) {
+            (Column::Int64(x), Column::Int64(y)) => x.extend(y),
+            (Column::Float64(x), Column::Float64(y)) => x.extend(y),
+            (Column::Str(x), Column::Str(y)) => x.extend(y),
+            _ => unreachable!("both sides cast to the unified dtype"),
+        }
+        a
+    }
+
+    /// Value as f32 at `row` (NaN-preserving; strings parse or NaN).
+    pub fn f32_at(&self, row: usize) -> f32 {
+        match self {
+            Column::Int64(v) => v[row] as f32,
+            Column::Float64(v) => v[row] as f32,
+            Column::Str(v) => v[row].trim().parse::<f32>().unwrap_or(f32::NAN),
+        }
+    }
+}
+
+/// A column-oriented table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Frame {
+    /// Builds a frame from equal-length columns.
+    pub fn new(columns: Vec<Column>) -> Result<Self, DataError> {
+        let nrows = columns.first().map(Column::len).unwrap_or(0);
+        if columns.iter().any(|c| c.len() != nrows) {
+            return Err(DataError::Malformed("columns have unequal lengths".into()));
+        }
+        Ok(Self { columns, nrows })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Concatenates frames row-wise (pandas `pd.concat(axis=0)`), unifying
+    /// dtypes column-by-column. This is the step the paper's optimized
+    /// loader performs once over large chunks, and the pandas-default path
+    /// effectively performs per small chunk.
+    pub fn concat(frames: Vec<Frame>) -> Result<Frame, DataError> {
+        let mut iter = frames.into_iter();
+        let first = match iter.next() {
+            Some(f) => f,
+            None => return Frame::new(Vec::new()),
+        };
+        let mut columns = first.columns;
+        let mut nrows = first.nrows;
+        for frame in iter {
+            if frame.ncols() != columns.len() {
+                return Err(DataError::Malformed(format!(
+                    "cannot concat frames with {} vs {} columns",
+                    columns.len(),
+                    frame.ncols()
+                )));
+            }
+            nrows += frame.nrows;
+            let taken = std::mem::take(&mut columns);
+            columns = taken
+                .into_iter()
+                .zip(frame.columns)
+                .map(|(a, b)| a.extend(b))
+                .collect();
+        }
+        Ok(Frame { columns, nrows })
+    }
+
+    /// Flattens to a dense row-major `f32` matrix `(nrows × ncols)` —
+    /// the hand-off to model training.
+    pub fn to_f32_matrix(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.nrows * self.ncols());
+        for r in 0..self.nrows {
+            for c in &self.columns {
+                out.push(c.f32_at(r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_cast_int_to_float() {
+        let c = Column::Int64(vec![1, 2]).cast(Dtype::Float64);
+        assert_eq!(c, Column::Float64(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn column_cast_str_to_float_with_nan() {
+        let c = Column::Str(vec!["1.5".into(), "oops".into()]).cast(Dtype::Float64);
+        match c {
+            Column::Float64(v) => {
+                assert_eq!(v[0], 1.5);
+                assert!(v[1].is_nan());
+            }
+            _ => panic!("wrong dtype"),
+        }
+    }
+
+    #[test]
+    fn extend_promotes_dtypes() {
+        let a = Column::Int64(vec![1, 2]);
+        let b = Column::Float64(vec![0.5]);
+        let c = a.extend(b);
+        assert_eq!(c.dtype(), Dtype::Float64);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.f32_at(2), 0.5);
+    }
+
+    #[test]
+    fn frame_rejects_ragged_columns() {
+        let r = Frame::new(vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn concat_unifies_and_counts() {
+        let a = Frame::new(vec![Column::Int64(vec![1, 2])]).unwrap();
+        let b = Frame::new(vec![Column::Float64(vec![3.5])]).unwrap();
+        let c = Frame::concat(vec![a, b]).unwrap();
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.columns()[0].dtype(), Dtype::Float64);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_width() {
+        let a = Frame::new(vec![Column::Int64(vec![1])]).unwrap();
+        let b = Frame::new(vec![Column::Int64(vec![1]), Column::Int64(vec![2])]).unwrap();
+        assert!(Frame::concat(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn concat_empty_list_is_empty_frame() {
+        let f = Frame::concat(vec![]).unwrap();
+        assert_eq!(f.nrows(), 0);
+        assert_eq!(f.ncols(), 0);
+    }
+
+    #[test]
+    fn to_f32_matrix_is_row_major() {
+        let f = Frame::new(vec![
+            Column::Int64(vec![1, 2]),
+            Column::Float64(vec![10.0, 20.0]),
+        ])
+        .unwrap();
+        assert_eq!(f.to_f32_matrix(), vec![1.0, 10.0, 2.0, 20.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Column dtypes and inference, modelled on pandas' parser.
+
+/// Column data types the parser distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit float.
+    Float64,
+    /// Unparseable as numeric — kept as text.
+    Str,
+}
+
+/// Infers the dtype of one field, the way pandas' tokenizer classifies
+/// values: integer if it parses as `i64`, else float if it parses as `f64`,
+/// else string. Empty fields are floats (NaN).
+pub fn infer_dtype(field: &str) -> Dtype {
+    let trimmed = field.trim();
+    if trimmed.is_empty() {
+        return Dtype::Float64;
+    }
+    if trimmed.parse::<i64>().is_ok() {
+        return Dtype::Int64;
+    }
+    if trimmed.parse::<f64>().is_ok() {
+        return Dtype::Float64;
+    }
+    Dtype::Str
+}
+
+/// Unifies two dtypes the way pandas promotes when concatenating chunk
+/// fragments: `Int64 ∨ Float64 = Float64`, anything with `Str` is `Str`.
+pub fn unify(a: Dtype, b: Dtype) -> Dtype {
+    use Dtype::*;
+    match (a, b) {
+        (Str, _) | (_, Str) => Str,
+        (Float64, _) | (_, Float64) => Float64,
+        (Int64, Int64) => Int64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_fields() {
+        assert_eq!(infer_dtype("42"), Dtype::Int64);
+        assert_eq!(infer_dtype("-7"), Dtype::Int64);
+        assert_eq!(infer_dtype(" 0 "), Dtype::Int64);
+    }
+
+    #[test]
+    fn float_fields() {
+        assert_eq!(infer_dtype("3.14"), Dtype::Float64);
+        assert_eq!(infer_dtype("-1e-3"), Dtype::Float64);
+        assert_eq!(infer_dtype(""), Dtype::Float64);
+        assert_eq!(infer_dtype("NaN"), Dtype::Float64);
+    }
+
+    #[test]
+    fn string_fields() {
+        assert_eq!(infer_dtype("tumor"), Dtype::Str);
+        assert_eq!(infer_dtype("1.2.3"), Dtype::Str);
+    }
+
+    #[test]
+    fn unify_promotes() {
+        use Dtype::*;
+        assert_eq!(unify(Int64, Int64), Int64);
+        assert_eq!(unify(Int64, Float64), Float64);
+        assert_eq!(unify(Float64, Int64), Float64);
+        assert_eq!(unify(Str, Float64), Str);
+        assert_eq!(unify(Int64, Str), Str);
+    }
+
+    #[test]
+    fn unify_is_commutative_and_idempotent() {
+        use Dtype::*;
+        for a in [Int64, Float64, Str] {
+            assert_eq!(unify(a, a), a);
+            for b in [Int64, Float64, Str] {
+                assert_eq!(unify(a, b), unify(b, a));
+            }
+        }
+    }
+}

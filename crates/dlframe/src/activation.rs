@@ -1,0 +1,192 @@
+//! Activation functions with forward and backward evaluation.
+
+use tensor::Tensor;
+
+/// Pointwise (or row-wise, for softmax) activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Row-wise softmax (rank-2 inputs only).
+    Softmax,
+}
+
+impl Activation {
+    /// Applies the activation.
+    pub fn forward(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Linear => x.clone(),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Softmax => x.softmax_rows(),
+        }
+    }
+
+    /// Computes `dL/dx` given the activation *output* `y` and `dL/dy`.
+    ///
+    /// Using the output (rather than the input) is valid for every function
+    /// here because each derivative is expressible in terms of the output —
+    /// the standard trick that avoids retaining both tensors.
+    ///
+    /// For `Softmax` this computes the full row-wise Jacobian product,
+    /// `dx_i = y_i (g_i - Σ_j g_j y_j)`.
+    pub fn backward(self, y: &Tensor, grad_out: &Tensor) -> Tensor {
+        match self {
+            Activation::Linear => grad_out.clone(),
+            Activation::Relu => {
+                let mut g = grad_out.clone();
+                for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                    if yv <= 0.0 {
+                        *gv = 0.0;
+                    }
+                }
+                g
+            }
+            Activation::Sigmoid => {
+                let mut g = grad_out.clone();
+                for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                    *gv *= yv * (1.0 - yv);
+                }
+                g
+            }
+            Activation::Tanh => {
+                let mut g = grad_out.clone();
+                for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                    *gv *= 1.0 - yv * yv;
+                }
+                g
+            }
+            Activation::Softmax => {
+                let (rows, cols) = y.shape().as_2d();
+                let mut g = grad_out.clone();
+                for r in 0..rows {
+                    let yrow = &y.data()[r * cols..(r + 1) * cols];
+                    let grow = &mut g.data_mut()[r * cols..(r + 1) * cols];
+                    let dot: f32 = grow.iter().zip(yrow).map(|(g, y)| g * y).sum();
+                    for (gv, &yv) in grow.iter_mut().zip(yrow) {
+                        *gv = yv * (*gv - dot);
+                    }
+                }
+                g
+            }
+        }
+    }
+
+    /// The Keras-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "softmax",
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Avoid overflow for large negative inputs.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrng::RandomSource;
+
+    fn finite_diff_check(act: Activation, tol: f64) {
+        // Loss = sum(act(x) * w) for random w; compare analytic vs numeric.
+        let mut rng = xrng::seeded(42);
+        let x = Tensor::from_fn([3, 5], |_| rng.next_f32() * 2.0 - 1.0);
+        let w = Tensor::from_fn([3, 5], |_| rng.next_f32() * 2.0 - 1.0);
+        let y = act.forward(&x);
+        let analytic = act.backward(&y, &w);
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let lp: f64 = act.forward(&plus).mul(&w).unwrap().sum();
+            let lm: f64 = act.forward(&minus).mul(&w).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let a = analytic.data()[idx] as f64;
+            assert!(
+                (numeric - a).abs() < tol,
+                "{}: idx {idx}: numeric {numeric} vs analytic {a}",
+                act.name()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_forward() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
+        assert_eq!(Activation::Relu.forward(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_stability() {
+        let x = Tensor::from_vec([3], vec![-100.0, 0.0, 100.0]).unwrap();
+        let y = Activation::Sigmoid.forward(&x);
+        assert!(y.data()[0] >= 0.0 && y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6 && y.data()[2] <= 1.0);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn linear_is_identity_both_ways() {
+        let x = Tensor::from_vec([3], vec![1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(Activation::Linear.forward(&x), x);
+        let g = Tensor::from_vec([3], vec![0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(Activation::Linear.backward(&x, &g), g);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(Activation::Sigmoid, 1e-2);
+        finite_diff_check(Activation::Tanh, 1e-2);
+        finite_diff_check(Activation::Softmax, 1e-2);
+        finite_diff_check(Activation::Linear, 1e-2);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negative() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.5, -0.2, 2.0]).unwrap();
+        let y = Activation::Relu.forward(&x);
+        let g = Tensor::full([4], 1.0);
+        let gx = Activation::Relu.backward(&y, &g);
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_backward_of_uniform_gradient_is_zero() {
+        // d/dx of sum(softmax(x)) is zero since rows sum to one.
+        let x = Tensor::from_vec([1, 3], vec![0.2, -0.7, 1.5]).unwrap();
+        let y = Activation::Softmax.forward(&x);
+        let g = Tensor::full([1, 3], 1.0);
+        let gx = Activation::Softmax.backward(&y, &g);
+        for v in gx.data() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn names_are_keras_style() {
+        assert_eq!(Activation::Relu.name(), "relu");
+        assert_eq!(Activation::Softmax.name(), "softmax");
+    }
+}

@@ -1,0 +1,283 @@
+//! Model checkpointing — the fault-tolerance feature the paper lists as
+//! future work ("We will add checkpoint/restart features to the Horovod
+//! benchmarks for fault tolerance", §7).
+//!
+//! A checkpoint stores the flat parameter vector with a small
+//! little-endian binary header (magic, version, epoch, parameter count)
+//! and an additive checksum, so a torn write is detected on restore.
+
+use crate::model::Sequential;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CNDLCKPT";
+const VERSION: u32 = 1;
+
+/// A restored checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Epoch counter stored by the writer (next epoch to run).
+    pub epoch: u64,
+    /// The flat parameter vector.
+    pub params: Vec<f32>,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file, wrong version, or corrupted payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn checksum(params: &[f32]) -> u64 {
+    // Order-dependent additive checksum over the raw bits.
+    let mut acc = 0xCBF2_9CE4_8422_2325u64;
+    for &p in params {
+        acc = acc
+            .rotate_left(5)
+            .wrapping_add(p.to_bits() as u64)
+            .wrapping_mul(0x1000_0000_01B3);
+    }
+    acc
+}
+
+/// Writes a checkpoint atomically (write to a sibling temp file, then
+/// rename).
+pub fn save(path: &Path, epoch: u64, params: &[f32]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        f.write_all(MAGIC)?;
+        f.write_all(&VERSION.to_le_bytes())?;
+        f.write_all(&epoch.to_le_bytes())?;
+        f.write_all(&(params.len() as u64).to_le_bytes())?;
+        f.write_all(&checksum(params).to_le_bytes())?;
+        for p in params {
+            f.write_all(&p.to_le_bytes())?;
+        }
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Saves a model's parameters.
+pub fn save_model(path: &Path, epoch: u64, model: &Sequential) -> Result<(), CheckpointError> {
+    save(path, epoch, &model.flat_params())
+}
+
+/// Loads and validates a checkpoint.
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let mut u32buf = [0u8; 4];
+    f.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    f.read_exact(&mut u64buf)?;
+    let epoch = u64::from_le_bytes(u64buf);
+    f.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    f.read_exact(&mut u64buf)?;
+    let expect_sum = u64::from_le_bytes(u64buf);
+    let mut params = Vec::with_capacity(count);
+    let mut f32buf = [0u8; 4];
+    for _ in 0..count {
+        f.read_exact(&mut f32buf).map_err(|_| {
+            CheckpointError::Corrupt(format!("truncated payload (expected {count} params)"))
+        })?;
+        params.push(f32::from_le_bytes(f32buf));
+    }
+    if checksum(&params) != expect_sum {
+        return Err(CheckpointError::Corrupt("checksum mismatch".into()));
+    }
+    Ok(Checkpoint { epoch, params })
+}
+
+/// Restores a checkpoint into a model of identical architecture.
+pub fn restore_model(path: &Path, model: &mut Sequential) -> Result<u64, CheckpointError> {
+    let ckpt = load(path)?;
+    if ckpt.params.len() != model.param_count() {
+        return Err(CheckpointError::Corrupt(format!(
+            "parameter count mismatch: checkpoint {} vs model {}",
+            ckpt.params.len(),
+            model.param_count()
+        )));
+    }
+    model.set_flat_params(&ckpt.params);
+    Ok(ckpt.epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dense, Loss, Optimizer};
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("candle_repro_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn small_model(seed: u64) -> Sequential {
+        let mut rng = xrng::seeded(seed);
+        let mut m = Sequential::new(seed);
+        m.add(Box::new(Dense::new(4, 3, Activation::Relu, &mut rng)));
+        m.add(Box::new(Dense::new(3, 2, Activation::Linear, &mut rng)));
+        m.compile(Loss::SoftmaxCrossEntropy, Optimizer::sgd(0.1));
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let path = tmpfile("roundtrip.ckpt");
+        let model = small_model(1);
+        save_model(&path, 17, &model).unwrap();
+        let ckpt = load(&path).unwrap();
+        assert_eq!(ckpt.epoch, 17);
+        assert_eq!(ckpt.params, model.flat_params());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn restore_into_fresh_model() {
+        let path = tmpfile("restore.ckpt");
+        let source = small_model(2);
+        save_model(&path, 5, &source).unwrap();
+        let mut target = small_model(3);
+        assert_ne!(target.flat_params(), source.flat_params());
+        let epoch = restore_model(&path, &mut target).unwrap();
+        assert_eq!(epoch, 5);
+        assert_eq!(target.flat_params(), source.flat_params());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let path = tmpfile("arch.ckpt");
+        save(&path, 0, &[1.0, 2.0, 3.0]).unwrap();
+        let mut model = small_model(4);
+        assert!(matches!(
+            restore_model(&path, &mut model),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let path = tmpfile("corrupt.ckpt");
+        save(&path, 3, &[1.5f32; 64]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit.
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(load(&path), Err(CheckpointError::Corrupt(msg)) if msg.contains("checksum"))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let path = tmpfile("trunc.ckpt");
+        save(&path, 3, &[2.0f32; 64]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(
+            matches!(load(&path), Err(CheckpointError::Corrupt(msg)) if msg.contains("truncated"))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("magic.ckpt");
+        std::fs::write(&path, b"NOTACKPTxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::Corrupt(msg)) if msg.contains("magic")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load(std::path::Path::new("/nonexistent/x.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let path = tmpfile("empty.ckpt");
+        save(&path, 0, &[]).unwrap();
+        let ckpt = load(&path).unwrap();
+        assert!(ckpt.params.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restart_continues_training() {
+        use crate::{Dataset, FitConfig, NoSync};
+        use tensor::Tensor;
+        // Train 2 epochs, checkpoint, restore into a fresh model, train 2
+        // more; loss keeps going down across the restart boundary.
+        let mut rng = xrng::seeded(11);
+        use xrng::RandomSource;
+        let x = Tensor::from_fn([40, 4], |_| rng.next_f32() - 0.5);
+        let y = Tensor::from_fn([40, 2], |i| if i % 2 == (i / 2) % 2 { 1.0 } else { 0.0 });
+        let data = Dataset::new(x, y);
+        let config = FitConfig {
+            epochs: 2,
+            batch_size: 10,
+            shuffle: false,
+            compute_accuracy: false,
+            ..Default::default()
+        };
+
+        let mut first = small_model(20);
+        let h1 = first.fit(&data, &config, &mut NoSync).unwrap();
+        let path = tmpfile("restart.ckpt");
+        save_model(&path, 2, &first).unwrap();
+
+        let mut resumed = small_model(99);
+        let epoch = restore_model(&path, &mut resumed).unwrap();
+        assert_eq!(epoch, 2);
+        let h2 = resumed.fit(&data, &config, &mut NoSync).unwrap();
+        assert!(
+            h2.final_loss().unwrap() < h1.final_loss().unwrap(),
+            "loss should keep decreasing after restart: {} -> {}",
+            h1.final_loss().unwrap(),
+            h2.final_loss().unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Standalone activation layer (Keras `Activation("relu")`).
+
+use super::{require_cached, Layer};
+use crate::{Activation, DlError};
+use tensor::Tensor;
+
+/// Applies an [`Activation`] as its own layer.
+pub struct ActivationLayer {
+    activation: Activation,
+    output_cache: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Wraps an activation function in a layer.
+    pub fn new(activation: Activation) -> Self {
+        Self {
+            activation,
+            output_cache: None,
+        }
+    }
+
+    /// The wrapped activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn name(&self) -> &'static str {
+        "activation"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let y = self.activation.forward(input);
+        self.output_cache = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        let y = require_cached(&self.output_cache, "activation")?;
+        Ok(self.activation.backward(y, grad_out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_layer_forward_backward() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_vec([4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = layer.backward(&Tensor::full([4], 1.0)).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut layer = ActivationLayer::new(Activation::Sigmoid);
+        assert!(layer.backward(&Tensor::zeros([2])).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! 1-D convolutional layer (the NT3 feature extractor).
+
+use super::{require_cached, Layer};
+use crate::{Activation, DlError};
+use tensor::{conv1d_backward, conv1d_forward, conv1d_output_len, Initializer, Tensor};
+use xrng::Rng;
+
+/// Keras-style `Conv1D(filters, kernel_size, strides, activation)` with
+/// valid padding.
+///
+/// Input: `(batch, steps, in_channels)`; output `(batch, out_steps, filters)`.
+pub struct Conv1D {
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    activation: Activation,
+    stride: usize,
+    kernel: usize,
+    in_channels: usize,
+    filters: usize,
+    input_cache: Option<Tensor>,
+    output_cache: Option<Tensor>,
+}
+
+impl Conv1D {
+    /// Creates a convolution layer with Glorot-uniform kernels.
+    pub fn new(
+        in_channels: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        activation: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && filters > 0 && kernel > 0 && stride > 0,
+            "Conv1D dims must be positive"
+        );
+        let fan_in = kernel * in_channels;
+        let fan_out = kernel * filters;
+        Self {
+            weights: Initializer::GlorotUniform.init(
+                [kernel, in_channels, filters],
+                fan_in,
+                fan_out,
+                rng,
+            ),
+            bias: Tensor::zeros([filters]),
+            grad_weights: Tensor::zeros([kernel, in_channels, filters]),
+            grad_bias: Tensor::zeros([filters]),
+            activation,
+            stride,
+            kernel,
+            in_channels,
+            filters,
+            input_cache: None,
+            output_cache: None,
+        }
+    }
+
+    /// Output length for a given input length, if the input is long enough.
+    pub fn output_len(&self, steps: usize) -> Option<usize> {
+        conv1d_output_len(steps, self.kernel, self.stride)
+    }
+
+    /// Number of output channels.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+}
+
+impl Layer for Conv1D {
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let (_, _, in_ch) = input.shape().as_3d();
+        if in_ch != self.in_channels {
+            return Err(DlError::BadInput(format!(
+                "conv1d expects {} channels, got {in_ch}",
+                self.in_channels
+            )));
+        }
+        let mut z = conv1d_forward(input, &self.weights, self.stride)
+            .map_err(|e| DlError::BadInput(e.to_string()))?;
+        // Bias per output channel.
+        let (_, _, out_ch) = z.shape().as_3d();
+        let bias = self.bias.data().to_vec();
+        for row in z.data_mut().chunks_exact_mut(out_ch) {
+            for (x, b) in row.iter_mut().zip(&bias) {
+                *x += b;
+            }
+        }
+        let y = self.activation.forward(&z);
+        self.input_cache = Some(input.clone());
+        self.output_cache = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        let y = require_cached(&self.output_cache, "conv1d")?;
+        let grad_z = self.activation.backward(y, grad_out);
+        let x = require_cached(&self.input_cache, "conv1d")?;
+        let (grad_input, grad_weights) = conv1d_backward(x, &self.weights, &grad_z, self.stride)
+            .map_err(|e| DlError::BadInput(e.to_string()))?;
+        // Bias gradient: sum of grad_z over batch and steps per channel.
+        let (_, _, out_ch) = grad_z.shape().as_3d();
+        let mut gb = Tensor::zeros([out_ch]);
+        for row in grad_z.data().chunks_exact(out_ch) {
+            for (g, &v) in gb.data_mut().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        self.grad_weights = grad_weights;
+        self.grad_bias = gb;
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weights, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weights, &mut self.grad_bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrng::RandomSource;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = xrng::seeded(1);
+        let mut layer = Conv1D::new(2, 5, 3, 1, Activation::Relu, &mut rng);
+        let x = Tensor::zeros([4, 10, 2]);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 8, 5]);
+        assert_eq!(layer.output_len(10), Some(8));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let mut rng = xrng::seeded(2);
+        let mut layer = Conv1D::new(2, 3, 3, 1, Activation::Relu, &mut rng);
+        assert!(layer.forward(&Tensor::zeros([1, 10, 4]), true).is_err());
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = xrng::seeded(3);
+        let mut layer = Conv1D::new(1, 2, 1, 1, Activation::Linear, &mut rng);
+        for w in layer.weights.data_mut() {
+            *w = 0.0;
+        }
+        layer.bias = Tensor::from_vec([2], vec![3.0, -1.0]).unwrap();
+        let y = layer.forward(&Tensor::zeros([1, 4, 1]), true).unwrap();
+        for t in 0..4 {
+            assert_eq!(y.data()[t * 2], 3.0);
+            assert_eq!(y.data()[t * 2 + 1], -1.0);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = xrng::seeded(4);
+        let mut layer = Conv1D::new(2, 3, 3, 2, Activation::Tanh, &mut rng);
+        let x = Tensor::from_fn([2, 9, 2], |_| rng.next_f32() - 0.5);
+        let y = layer.forward(&x, true).unwrap();
+        let w_dir = Tensor::from_fn(y.shape().clone().dims().to_vec(), |_| rng.next_f32() - 0.5);
+        let gx = layer.backward(&w_dir).unwrap();
+        let gw = layer.grad_weights.clone();
+        let gb = layer.grad_bias.clone();
+        let eps = 1e-3f32;
+        let loss =
+            |l: &mut Conv1D, x: &Tensor| l.forward(x, true).unwrap().mul(&w_dir).unwrap().sum();
+        for idx in [0usize, 9, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gx.data()[idx] as f64).abs() < 1e-2,
+                "gx idx {idx}"
+            );
+        }
+        for idx in [0usize, 7, 15] {
+            let orig = layer.weights.data()[idx];
+            layer.weights.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.weights.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.weights.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gw.data()[idx] as f64).abs() < 1e-2,
+                "gw idx {idx}"
+            );
+        }
+        for idx in 0..gb.len() {
+            let orig = layer.bias.data()[idx];
+            layer.bias.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.bias.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.bias.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gb.data()[idx] as f64).abs() < 1e-2,
+                "gb idx {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = xrng::seeded(5);
+        let layer = Conv1D::new(3, 4, 5, 1, Activation::Relu, &mut rng);
+        assert_eq!(layer.param_count(), 5 * 3 * 4 + 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Fully connected layer.
+
+use super::{require_cached, Layer};
+use crate::{Activation, DlError};
+use tensor::{matmul, matmul_a_bt, matmul_at_b, Initializer, Tensor};
+use xrng::Rng;
+
+/// `y = act(x·W + b)` for `x: (batch, in)`, `W: (in, out)`, `b: (out)`.
+///
+/// The activation is fused into the layer (as in Keras' `Dense(units,
+/// activation=...)`), which keeps the backward pass self-contained.
+pub struct Dense {
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    activation: Activation,
+    input_cache: Option<Tensor>,
+    output_cache: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "Dense dims must be positive");
+        Self {
+            weights: Initializer::GlorotUniform.init([in_dim, out_dim], in_dim, out_dim, rng),
+            bias: Tensor::zeros([out_dim]),
+            grad_weights: Tensor::zeros([in_dim, out_dim]),
+            grad_bias: Tensor::zeros([out_dim]),
+            activation,
+            input_cache: None,
+            output_cache: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let (_, cols) = input.shape().as_2d();
+        if cols != self.in_dim {
+            return Err(DlError::BadInput(format!(
+                "dense expects {} features, got {cols}",
+                self.in_dim
+            )));
+        }
+        let mut z = matmul(input, &self.weights).map_err(|e| DlError::BadInput(e.to_string()))?;
+        z.add_row_broadcast(&self.bias)
+            .map_err(|e| DlError::BadInput(e.to_string()))?;
+        let y = self.activation.forward(&z);
+        self.input_cache = Some(input.clone());
+        self.output_cache = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        let y = require_cached(&self.output_cache, "dense")?;
+        let grad_z = self.activation.backward(y, grad_out);
+        let x = require_cached(&self.input_cache, "dense")?;
+        self.grad_weights =
+            matmul_at_b(x, &grad_z).map_err(|e| DlError::BadInput(e.to_string()))?;
+        self.grad_bias = grad_z.sum_rows();
+        matmul_a_bt(&grad_z, &self.weights).map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weights, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weights, &mut self.grad_bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrng::RandomSource;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = xrng::seeded(1);
+        let mut layer = Dense::new(3, 2, Activation::Linear, &mut rng);
+        // Zero the weights to isolate the bias path.
+        for w in layer.weights.data_mut() {
+            *w = 0.0;
+        }
+        layer.bias = Tensor::from_vec([2], vec![1.5, -0.5]).unwrap();
+        let x = Tensor::zeros([4, 3]);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[1.5, -0.5]);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut rng = xrng::seeded(2);
+        let mut layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+        assert!(layer.forward(&Tensor::zeros([4, 5]), true).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = xrng::seeded(3);
+        let mut layer = Dense::new(2, 2, Activation::Linear, &mut rng);
+        assert!(layer.backward(&Tensor::zeros([1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = xrng::seeded(4);
+        let mut layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Tensor::from_fn([5, 4], |_| rng.next_f32() - 0.5);
+        let w_dir = Tensor::from_fn([5, 3], |_| rng.next_f32() - 0.5);
+        // Loss = sum(y * w_dir).
+        let y = layer.forward(&x, true).unwrap();
+        let _ = y;
+        let gx = layer.backward(&w_dir).unwrap();
+        let eps = 1e-3f32;
+        // Input gradient.
+        for idx in [0usize, 7, 19] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = layer.forward(&xp, true).unwrap().mul(&w_dir).unwrap().sum();
+            let lm = layer.forward(&xm, true).unwrap().mul(&w_dir).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gx.data()[idx] as f64).abs() < 1e-2,
+                "input grad idx {idx}"
+            );
+        }
+        // Weight gradient (recompute baseline gradient after the probes).
+        layer.forward(&x, true).unwrap();
+        layer.backward(&w_dir).unwrap();
+        let gw = layer.grad_weights.clone();
+        for idx in [0usize, 5, 11] {
+            let orig = layer.weights.data()[idx];
+            layer.weights.data_mut()[idx] = orig + eps;
+            let lp = layer.forward(&x, true).unwrap().mul(&w_dir).unwrap().sum();
+            layer.weights.data_mut()[idx] = orig - eps;
+            let lm = layer.forward(&x, true).unwrap().mul(&w_dir).unwrap().sum();
+            layer.weights.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gw.data()[idx] as f64).abs() < 1e-2,
+                "weight grad idx {idx}: {numeric} vs {}",
+                gw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_and_order() {
+        let mut rng = xrng::seeded(5);
+        let layer = Dense::new(10, 4, Activation::Relu, &mut rng);
+        assert_eq!(layer.param_count(), 44);
+        let params = layer.params();
+        assert_eq!(params[0].shape().dims(), &[10, 4]);
+        assert_eq!(params[1].shape().dims(), &[4]);
+    }
+}

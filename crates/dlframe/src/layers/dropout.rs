@@ -1,0 +1,155 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::DlError;
+use tensor::Tensor;
+use xrng::{Bernoulli, Rng};
+
+/// Keras-style `Dropout(rate)` using inverted scaling: at training time each
+/// unit is kept with probability `1 - rate` and scaled by `1/(1-rate)`, so
+/// inference needs no rescaling.
+pub struct Dropout {
+    rate: f64,
+    rng: Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with its own deterministic random stream.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate < 1`.
+    pub fn new(rate: f64, rng: Rng) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+        Self {
+            rate,
+            rng,
+            mask: None,
+        }
+    }
+
+    /// The configured drop rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        if !training || self.rate == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = Bernoulli::new(1.0 - self.rate);
+        let scale = (1.0 / (1.0 - self.rate)) as f32;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if keep.sample(&mut self.rng) {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (x, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *x *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        match &self.mask {
+            None => Ok(grad_out.clone()),
+            Some(mask) => {
+                if mask.len() != grad_out.len() {
+                    return Err(DlError::BadInput(format!(
+                        "dropout mask length {} vs gradient length {}",
+                        mask.len(),
+                        grad_out.len()
+                    )));
+                }
+                let mut g = grad_out.clone();
+                for (x, &m) in g.data_mut().iter_mut().zip(mask) {
+                    *x *= m;
+                }
+                Ok(g)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut layer = Dropout::new(0.5, xrng::seeded(1));
+        let x = Tensor::from_fn([100], |i| i as f32);
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_in_training() {
+        let mut layer = Dropout::new(0.0, xrng::seeded(2));
+        let x = Tensor::from_fn([50], |i| i as f32);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn training_drops_and_scales() {
+        let mut layer = Dropout::new(0.4, xrng::seeded(3));
+        let x = Tensor::full([10_000], 1.0);
+        let y = layer.forward(&x, true).unwrap();
+        let scale = 1.0 / 0.6f32;
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y
+            .data()
+            .iter()
+            .filter(|&&v| (v - scale).abs() < 1e-6)
+            .count();
+        assert_eq!(dropped + kept, 10_000);
+        let frac = dropped as f64 / 10_000.0;
+        assert!((frac - 0.4).abs() < 0.03, "drop fraction {frac}");
+        // Expectation is preserved by inverted scaling.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut layer = Dropout::new(0.5, xrng::seeded(4));
+        let x = Tensor::full([1000], 1.0);
+        let y = layer.forward(&x, true).unwrap();
+        let g = layer.backward(&Tensor::full([1000], 1.0)).unwrap();
+        // Gradient passes exactly where the forward output was nonzero.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rate_one_rejected() {
+        Dropout::new(1.0, xrng::seeded(5));
+    }
+
+    #[test]
+    fn mask_is_seed_deterministic() {
+        let run = || {
+            let mut layer = Dropout::new(0.3, xrng::seeded(9));
+            layer
+                .forward(&Tensor::full([64], 1.0), true)
+                .unwrap()
+                .into_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

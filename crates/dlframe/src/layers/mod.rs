@@ -1,0 +1,109 @@
+//! Neural-network layers.
+//!
+//! Each layer owns its parameters and the gradient buffers the last
+//! backward pass produced; the [`Sequential`](crate::Sequential) model walks
+//! these through the optimizer (and, in distributed runs, through the
+//! gradient-averaging allreduce) in a fixed layer/parameter order so every
+//! worker sees an identical flat layout.
+
+mod activation_layer;
+mod conv;
+mod dense;
+mod dropout;
+mod pool;
+mod reshape;
+
+pub use activation_layer::ActivationLayer;
+pub use conv::Conv1D;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::MaxPooling1D;
+pub use reshape::{Flatten, Reshape3};
+
+use crate::DlError;
+use tensor::Tensor;
+
+/// A differentiable layer in a [`Sequential`](crate::Sequential) stack.
+pub trait Layer: Send {
+    /// Keras-style layer name (for summaries and traces).
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output, caching whatever the backward pass needs.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError>;
+
+    /// Computes `dL/dinput` from `dL/doutput` and accumulates parameter
+    /// gradients internally. Must be called after `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError>;
+
+    /// The layer's trainable parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable access to the trainable parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Gradients of the last backward pass, aligned with [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable access to the gradients (used by the distributed gradient
+    /// averaging hook).
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Validates that a cached forward activation exists; shared helper for the
+/// "backward before forward" error.
+pub(crate) fn require_cached<'t>(
+    cache: &'t Option<Tensor>,
+    layer: &'static str,
+) -> Result<&'t Tensor, DlError> {
+    cache
+        .as_ref()
+        .ok_or_else(|| DlError::NotReady(format!("{layer}: backward called before forward")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoParams;
+    impl Layer for NoParams {
+        fn name(&self) -> &'static str {
+            "noparams"
+        }
+        fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+            Ok(input.clone())
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+            Ok(grad_out.clone())
+        }
+    }
+
+    #[test]
+    fn default_param_methods_are_empty() {
+        let mut l = NoParams;
+        assert!(l.params().is_empty());
+        assert!(l.params_mut().is_empty());
+        assert!(l.grads().is_empty());
+        assert_eq!(l.param_count(), 0);
+    }
+
+    #[test]
+    fn require_cached_error_message() {
+        let none: Option<Tensor> = None;
+        let err = require_cached(&none, "dense").unwrap_err();
+        assert!(matches!(err, DlError::NotReady(_)));
+    }
+}

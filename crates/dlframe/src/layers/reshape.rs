@@ -1,0 +1,138 @@
+//! Shape adapters: `Flatten` (rank-3 → rank-2) and `Reshape3`
+//! (rank-2 → rank-3).
+//!
+//! `Reshape3` plays the role of feeding the flat RNA-seq feature vector into
+//! NT3's first `Conv1D` as a `(steps, 1)` sequence; `Flatten` is the Keras
+//! layer between the convolutional stack and the dense head.
+
+use super::Layer;
+use crate::DlError;
+use tensor::{Shape, Tensor};
+
+/// Collapses `(batch, steps, channels)` to `(batch, steps*channels)`.
+pub struct Flatten {
+    input_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let (batch, steps, ch) = input.shape().as_3d();
+        self.input_shape = Some(input.shape().clone());
+        input
+            .clone()
+            .reshape([batch, steps * ch])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .ok_or_else(|| DlError::NotReady("flatten: backward before forward".into()))?;
+        grad_out
+            .clone()
+            .reshape(shape.dims().to_vec())
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+}
+
+/// Expands `(batch, steps*channels)` to `(batch, steps, channels)`.
+pub struct Reshape3 {
+    steps: usize,
+    channels: usize,
+}
+
+impl Reshape3 {
+    /// Creates a reshape layer targeting `(steps, channels)` per sample.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(steps: usize, channels: usize) -> Self {
+        assert!(steps > 0 && channels > 0, "Reshape3 dims must be positive");
+        Self { steps, channels }
+    }
+}
+
+impl Layer for Reshape3 {
+    fn name(&self) -> &'static str {
+        "reshape3"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let (batch, features) = input.shape().as_2d();
+        if features != self.steps * self.channels {
+            return Err(DlError::BadInput(format!(
+                "reshape3 expects {} features, got {features}",
+                self.steps * self.channels
+            )));
+        }
+        input
+            .clone()
+            .reshape([batch, self.steps, self.channels])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        let (batch, steps, ch) = grad_out.shape().as_3d();
+        grad_out
+            .clone()
+            .reshape([batch, steps * ch])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut layer = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 4], |i| i as f32);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        assert_eq!(y.data(), x.data());
+        let g = layer.backward(&y).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn reshape3_roundtrip() {
+        let mut layer = Reshape3::new(5, 2);
+        let x = Tensor::from_fn([3, 10], |i| i as f32);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 5, 2]);
+        let g = layer.backward(&y).unwrap();
+        assert_eq!(g.shape().dims(), &[3, 10]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn reshape3_rejects_wrong_width() {
+        let mut layer = Reshape3::new(5, 2);
+        assert!(layer.forward(&Tensor::zeros([3, 9]), true).is_err());
+    }
+
+    #[test]
+    fn flatten_backward_before_forward_errors() {
+        let mut layer = Flatten::new();
+        assert!(layer.backward(&Tensor::zeros([1, 2])).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! `dlframe` — a from-scratch Keras-style deep-learning framework.
+//!
+//! This crate replaces the Keras/TensorFlow layer of the CANDLE benchmarks.
+//! It provides exactly the pieces the four Pilot1 networks use:
+//!
+//! * layers: [`Dense`], [`Conv1D`], [`MaxPooling1D`], [`Dropout`],
+//!   [`Flatten`], [`Reshape3`], [`ActivationLayer`];
+//! * activations: ReLU, sigmoid, tanh, softmax, linear;
+//! * losses: softmax cross-entropy (classification) and mean squared error
+//!   (autoencoder / regression);
+//! * optimizers: SGD (the paper's NT3/P1B3 default), Adam (P1B1), RMSProp
+//!   (P1B2), each with a runtime-adjustable learning rate so Horovod-style
+//!   linear LR scaling can be applied;
+//! * a [`Sequential`] model with `fit` / `evaluate` / `predict`, per-epoch
+//!   [`History`], and two integration points used by the `collectives`
+//!   crate: a [`GradientSync`] hook called between backward and the
+//!   optimizer step (Horovod's `DistributedOptimizer` splice point) and
+//!   flat get/set of all parameters (the `BroadcastGlobalVariablesHook`
+//!   splice point).
+//!
+//! Everything is deterministic given a seed: initialization, shuffling and
+//! dropout all draw from `xrng` streams owned by the model.
+
+mod activation;
+pub mod checkpoint;
+mod data;
+mod history;
+mod layers;
+mod loss;
+mod model;
+mod optimizer;
+mod schedule;
+
+pub use activation::Activation;
+pub use checkpoint::{
+    load as load_checkpoint, restore_model, save_model, Checkpoint, CheckpointError,
+};
+pub use data::Dataset;
+pub use history::{EpochStats, History};
+pub use layers::{ActivationLayer, Conv1D, Dense, Dropout, Flatten, Layer, MaxPooling1D, Reshape3};
+pub use loss::Loss;
+pub use model::{FitConfig, GradientSync, NoSync, Sequential};
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use schedule::LrSchedule;
+
+/// Errors surfaced by the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlError {
+    /// Input fed to a layer or model has the wrong shape.
+    BadInput(String),
+    /// Model was used before `compile` or without layers.
+    NotReady(String),
+}
+
+impl std::fmt::Display for DlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DlError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            DlError::NotReady(msg) => write!(f, "model not ready: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}

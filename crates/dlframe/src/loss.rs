@@ -1,0 +1,162 @@
+//! Loss functions.
+//!
+//! The benchmarks use two losses: categorical cross-entropy for the
+//! classifiers (NT3, P1B2, and P1B3's coarse growth buckets when run as
+//! classification) and mean squared error for the P1B1 autoencoder and
+//! P1B3 regression head.
+//!
+//! Cross-entropy is computed **from logits**: the model's final dense layer
+//! stays linear and the softmax is fused into the loss, which gives the
+//! numerically exact gradient `(softmax(z) - target) / batch`.
+
+use tensor::Tensor;
+
+/// A differentiable training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + categorical cross-entropy, taking logits.
+    SoftmaxCrossEntropy,
+    /// Mean squared error, taking raw predictions.
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Computes `(mean loss, dL/dpred)` for predictions and one-hot (or
+    /// continuous) targets of identical shape.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn loss_and_grad(self, pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss: prediction and target shapes must match"
+        );
+        match self {
+            Loss::SoftmaxCrossEntropy => {
+                let (batch, _classes) = pred.shape().as_2d();
+                let probs = pred.softmax_rows();
+                // Mean negative log-likelihood of the true class.
+                let mut loss = 0.0f64;
+                for (p, t) in probs.data().iter().zip(target.data()) {
+                    if *t > 0.0 {
+                        loss -= (*t as f64) * ((*p as f64).max(1e-12)).ln();
+                    }
+                }
+                loss /= batch as f64;
+                let mut grad = probs;
+                let scale = 1.0 / batch as f32;
+                for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+                    *g = (*g - t) * scale;
+                }
+                (loss, grad)
+            }
+            Loss::MeanSquaredError => {
+                let n = pred.len().max(1);
+                let diff = pred.sub(target).expect("shapes checked above");
+                let loss = diff.sum_squares() / n as f64;
+                let mut grad = diff;
+                grad.scale(2.0 / n as f32);
+                (loss, grad)
+            }
+        }
+    }
+
+    /// The Keras-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::SoftmaxCrossEntropy => "categorical_crossentropy",
+            Loss::MeanSquaredError => "mse",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrng::RandomSource;
+
+    #[test]
+    fn mse_on_perfect_prediction_is_zero() {
+        let p = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (loss, grad) = Loss::MeanSquaredError.loss_and_grad(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = Tensor::from_vec([1, 2], vec![1.0, 3.0]).unwrap();
+        let t = Tensor::from_vec([1, 2], vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = Loss::MeanSquaredError.loss_and_grad(&p, &t);
+        assert!((loss - 5.0).abs() < 1e-9); // (1 + 9) / 2
+        assert_eq!(grad.data(), &[1.0, 3.0]); // 2*(p-t)/n
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let logits = Tensor::from_vec([1, 3], vec![10.0, -10.0, -10.0]).unwrap();
+        let target = Tensor::from_vec([1, 3], vec![1.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &target);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_confident_wrong_is_large() {
+        let logits = Tensor::from_vec([1, 3], vec![-10.0, 10.0, -10.0]).unwrap();
+        let target = Tensor::from_vec([1, 3], vec![1.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &target);
+        assert!(loss > 10.0, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros([4, 5]);
+        let target = Tensor::from_fn([4, 5], |i| if i % 5 == 0 { 1.0 } else { 0.0 });
+        let (loss, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &target);
+        assert!((loss - (5.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = xrng::seeded(7);
+        let logits = Tensor::from_fn([3, 4], |_| rng.next_f32() * 2.0 - 1.0);
+        let target = Tensor::from_fn([3, 4], |i| if i % 4 == (i / 4) % 4 { 1.0 } else { 0.0 });
+        let (_, grad) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &target);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut p = logits.clone();
+            p.data_mut()[idx] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[idx] -= eps;
+            let (lp, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&p, &target);
+            let (lm, _) = Loss::SoftmaxCrossEntropy.loss_and_grad(&m, &target);
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - grad.data()[idx] as f64).abs() < 1e-3,
+                "idx {idx}: {numeric} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero_for_cross_entropy() {
+        // softmax minus one-hot sums to zero per row.
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let target = Tensor::from_vec([2, 3], vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let (_, grad) = Loss::SoftmaxCrossEntropy.loss_and_grad(&logits, &target);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn shape_mismatch_panics() {
+        let p = Tensor::zeros([1, 2]);
+        let t = Tensor::zeros([1, 3]);
+        Loss::SoftmaxCrossEntropy.loss_and_grad(&p, &t);
+    }
+}

@@ -1,0 +1,641 @@
+//! The `Sequential` model: Keras-style layer stack with `fit`, `evaluate`
+//! and `predict`, plus the two splice points the distributed runtime needs.
+
+use crate::history::{EpochStats, History};
+use crate::layers::Layer;
+use crate::loss::Loss;
+use crate::optimizer::Optimizer;
+use crate::{Dataset, DlError};
+use tensor::Tensor;
+use xrng::Rng;
+
+/// Hook invoked on the flattened gradient vector after backward and before
+/// the optimizer step — exactly where Horovod's `DistributedOptimizer`
+/// inserts its allreduce.
+pub trait GradientSync {
+    /// Synchronizes (e.g. averages across workers) the flat gradient in
+    /// place.
+    fn sync_gradients(&mut self, flat: &mut [f32]);
+}
+
+/// No-op sync for single-process training.
+pub struct NoSync;
+
+impl GradientSync for NoSync {
+    fn sync_gradients(&mut self, _flat: &mut [f32]) {}
+}
+
+/// Training-run configuration (the knobs the paper varies).
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Number of passes over the (local shard of the) dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle sample order each epoch.
+    pub shuffle: bool,
+    /// Record classification accuracy per epoch (argmax match).
+    pub compute_accuracy: bool,
+    /// Fraction of the training data held out for per-epoch validation
+    /// (Keras `validation_split`; the "cross-validation" of the paper's
+    /// Figure-2 phase 2). 0 disables validation.
+    pub validation_split: f64,
+    /// Stop early when validation loss (or training loss without a
+    /// validation split) has not improved for this many epochs.
+    pub early_stop_patience: Option<usize>,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 1,
+            batch_size: 32,
+            shuffle: true,
+            compute_accuracy: true,
+            validation_split: 0.0,
+            early_stop_patience: None,
+        }
+    }
+}
+
+/// A linear stack of layers trained with backpropagation.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    loss: Option<Loss>,
+    optimizer: Option<Optimizer>,
+    rng: Rng,
+}
+
+impl Sequential {
+    /// Creates an empty model with a deterministic shuffling stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            layers: Vec::new(),
+            loss: None,
+            optimizer: None,
+            rng: xrng::seeded(xrng::derive_seed(seed, 0xF17)),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn add(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Sets the loss and optimizer (Keras `compile`).
+    pub fn compile(&mut self, loss: Loss, optimizer: Optimizer) -> &mut Self {
+        self.loss = Some(loss);
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Immutable access to the optimizer, if compiled.
+    pub fn optimizer(&self) -> Option<&Optimizer> {
+        self.optimizer.as_ref()
+    }
+
+    /// Mutable access to the optimizer, if compiled (for LR scaling).
+    pub fn optimizer_mut(&mut self) -> Option<&mut Optimizer> {
+        self.optimizer.as_mut()
+    }
+
+    /// Runs a forward pass through all layers.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        if self.layers.is_empty() {
+            return Err(DlError::NotReady("model has no layers".into()));
+        }
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, training)?;
+        }
+        Ok(h)
+    }
+
+    /// Inference forward pass.
+    pub fn predict(&mut self, x: &Tensor) -> Result<Tensor, DlError> {
+        self.forward(x, false)
+    }
+
+    /// Copies all parameters into one flat vector, in layer/parameter order.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by a model of
+    /// identical architecture (the weight-broadcast splice point).
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`Sequential::param_count`].
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let n = p.len();
+                p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+    }
+
+    /// Copies the current gradients into one flat vector.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for g in layer.grads() {
+                out.extend_from_slice(g.data());
+            }
+        }
+        out
+    }
+
+    /// Trains on one already-materialized batch, returning the batch loss
+    /// and (for classifiers) the number of argmax-correct predictions.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        sync: &mut dyn GradientSync,
+    ) -> Result<(f64, usize), DlError> {
+        let loss_fn = self
+            .loss
+            .ok_or_else(|| DlError::NotReady("compile before fit".into()))?;
+        let pred = self.forward(x, true)?;
+        let (loss, grad) = loss_fn.loss_and_grad(&pred, y);
+        let correct = count_argmax_matches(&pred, y);
+        // Backward through the stack.
+        let mut g = grad;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        // Gradient synchronization on the flat layout, then scatter back.
+        let mut flat = self.flat_grads();
+        sync.sync_gradients(&mut flat);
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for gt in layer.grads_mut() {
+                let n = gt.len();
+                gt.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+        // Optimizer step, slot per parameter tensor.
+        let opt = self
+            .optimizer
+            .as_mut()
+            .ok_or_else(|| DlError::NotReady("compile before fit".into()))?;
+        let mut slot = 0;
+        for layer in &mut self.layers {
+            // Split borrow: collect grads first (cloned refs are cheap — the
+            // tensors are small relative to the matmuls already done).
+            let grads: Vec<Tensor> = layer.grads().into_iter().cloned().collect();
+            for (p, g) in layer.params_mut().into_iter().zip(&grads) {
+                opt.update(slot, p, g);
+                slot += 1;
+            }
+        }
+        Ok((loss, correct))
+    }
+
+    /// Trains for `config.epochs` passes over `data`, invoking `sync` on
+    /// every batch gradient.
+    ///
+    /// With `validation_split > 0` the trailing fraction of `data` is held
+    /// out; its loss/accuracy are recorded per epoch and drive early
+    /// stopping when `early_stop_patience` is set.
+    ///
+    /// NOTE for distributed training: early stopping triggers on every
+    /// rank at the same epoch only if all ranks see identical loss
+    /// sequences (true in this workspace because gradients are averaged
+    /// and data is identical); heterogeneous setups should disable it.
+    pub fn fit(
+        &mut self,
+        data: &Dataset,
+        config: &FitConfig,
+        sync: &mut dyn GradientSync,
+    ) -> Result<History, DlError> {
+        if data.is_empty() {
+            return Err(DlError::BadInput("empty training dataset".into()));
+        }
+        if !(0.0..1.0).contains(&config.validation_split) {
+            return Err(DlError::BadInput(format!(
+                "validation_split must be in [0,1), got {}",
+                config.validation_split
+            )));
+        }
+        let (train, val) = if config.validation_split > 0.0 {
+            let (t, v) = data.split(config.validation_split);
+            if t.is_empty() || v.is_empty() {
+                return Err(DlError::BadInput(
+                    "validation split leaves an empty partition".into(),
+                ));
+            }
+            (t, Some(v))
+        } else {
+            (data.clone(), None)
+        };
+        let mut history = History::new();
+        let mut best_monitor = f64::INFINITY;
+        let mut stale_epochs = 0usize;
+        for epoch in 0..config.epochs {
+            let batches =
+                train.batch_indices(config.batch_size, config.shuffle.then_some(&mut self.rng));
+            let mut loss_sum = 0.0;
+            let mut correct = 0usize;
+            let steps = batches.len();
+            for idx in &batches {
+                let (x, y) = train.batch(idx);
+                let (loss, c) = self.train_batch(&x, &y, sync)?;
+                loss_sum += loss;
+                correct += c;
+            }
+            let train_loss = loss_sum / steps.max(1) as f64;
+            let (val_loss, val_accuracy) = match &val {
+                Some(v) => {
+                    let (l, a) = self.evaluate(v, config.batch_size)?;
+                    (Some(l), config.compute_accuracy.then_some(a))
+                }
+                None => (None, None),
+            };
+            history.push(EpochStats {
+                epoch,
+                loss: train_loss,
+                accuracy: config
+                    .compute_accuracy
+                    .then(|| correct as f64 / train.len() as f64),
+                batch_steps: steps,
+                val_loss,
+                val_accuracy,
+            });
+            if let Some(patience) = config.early_stop_patience {
+                let monitor = val_loss.unwrap_or(train_loss);
+                if monitor < best_monitor - 1e-12 {
+                    best_monitor = monitor;
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs > patience {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(history)
+    }
+
+    /// Like [`Sequential::fit`], but applies an [`crate::LrSchedule`]:
+    /// before each epoch the optimizer's rate is set to `base_lr ×
+    /// schedule.multiplier(epoch)`. The base rate is captured from the
+    /// optimizer at entry.
+    pub fn fit_scheduled(
+        &mut self,
+        data: &Dataset,
+        config: &FitConfig,
+        schedule: crate::LrSchedule,
+        sync: &mut dyn GradientSync,
+    ) -> Result<History, DlError> {
+        let base_lr = self
+            .optimizer
+            .as_ref()
+            .ok_or_else(|| DlError::NotReady("compile before fit".into()))?
+            .learning_rate();
+        let mut history = History::new();
+        // Reuse `fit` one epoch at a time so the schedule can retune the
+        // optimizer between epochs.
+        let mut per_epoch = config.clone();
+        per_epoch.epochs = 1;
+        per_epoch.early_stop_patience = None;
+        for epoch in 0..config.epochs {
+            let lr = base_lr * schedule.multiplier(epoch);
+            self.optimizer
+                .as_mut()
+                .expect("checked above")
+                .set_learning_rate(lr);
+            let h = self.fit(data, &per_epoch, sync)?;
+            let mut stats = h.epochs()[0].clone();
+            stats.epoch = epoch;
+            history.push(stats);
+        }
+        // Restore the base rate.
+        self.optimizer
+            .as_mut()
+            .expect("checked above")
+            .set_learning_rate(base_lr);
+        Ok(history)
+    }
+
+    /// Computes `(mean loss, accuracy)` on a dataset without training.
+    pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> Result<(f64, f64), DlError> {
+        let loss_fn = self
+            .loss
+            .ok_or_else(|| DlError::NotReady("compile first".into()))?;
+        if data.is_empty() {
+            return Err(DlError::BadInput("empty evaluation dataset".into()));
+        }
+        let batches = data.batch_indices(batch_size, None);
+        let mut loss_sum = 0.0;
+        let mut correct = 0usize;
+        for idx in &batches {
+            let (x, y) = data.batch(idx);
+            let pred = self.forward(&x, false)?;
+            let (loss, _) = loss_fn.loss_and_grad(&pred, &y);
+            loss_sum += loss * idx.len() as f64;
+            correct += count_argmax_matches(&pred, &y);
+        }
+        Ok((
+            loss_sum / data.len() as f64,
+            correct as f64 / data.len() as f64,
+        ))
+    }
+}
+
+/// Counts rows where prediction and target argmax agree (classification
+/// accuracy numerator). For single-column outputs this degenerates to
+/// "always 0 matches count" — regression callers ignore it.
+fn count_argmax_matches(pred: &Tensor, target: &Tensor) -> usize {
+    if pred.shape().rank() != 2 {
+        return 0;
+    }
+    pred.argmax_rows()
+        .into_iter()
+        .zip(target.argmax_rows())
+        .filter(|(a, b)| a == b)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dense};
+
+    /// Builds a small two-class spiral-ish dataset that a 2-layer MLP can
+    /// separate.
+    fn toy_classification(n: usize, seed: u64) -> Dataset {
+        use xrng::RandomSource;
+        let mut rng = xrng::seeded(seed);
+        let mut x = Tensor::zeros([n, 2]);
+        let mut y = Tensor::zeros([n, 2]);
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { -1.0 } else { 1.0 };
+            *x.at2_mut(i, 0) = base + (rng.next_f32() - 0.5) * 0.4;
+            *x.at2_mut(i, 1) = base + (rng.next_f32() - 0.5) * 0.4;
+            *y.at2_mut(i, class) = 1.0;
+        }
+        Dataset::new(x, y)
+    }
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = xrng::seeded(seed);
+        let mut m = Sequential::new(seed);
+        m.add(Box::new(Dense::new(2, 8, Activation::Relu, &mut rng)));
+        m.add(Box::new(Dense::new(8, 2, Activation::Linear, &mut rng)));
+        m.compile(Loss::SoftmaxCrossEntropy, Optimizer::sgd(0.1));
+        m
+    }
+
+    #[test]
+    fn fit_reduces_loss_and_reaches_high_accuracy() {
+        let data = toy_classification(200, 1);
+        let mut model = mlp(2);
+        let config = FitConfig {
+            epochs: 30,
+            batch_size: 20,
+            ..Default::default()
+        };
+        let history = model.fit(&data, &config, &mut NoSync).unwrap();
+        let first = history.epochs().first().unwrap().loss;
+        let last = history.final_loss().unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        assert!(history.final_accuracy().unwrap() > 0.95);
+        let (eval_loss, eval_acc) = model.evaluate(&data, 50).unwrap();
+        assert!(eval_loss < 0.3);
+        assert!(eval_acc > 0.95);
+    }
+
+    #[test]
+    fn fit_without_compile_errors() {
+        let data = toy_classification(10, 3);
+        let mut rng = xrng::seeded(4);
+        let mut m = Sequential::new(4);
+        m.add(Box::new(Dense::new(2, 2, Activation::Linear, &mut rng)));
+        let config = FitConfig::default();
+        assert!(matches!(
+            m.fit(&data, &config, &mut NoSync),
+            Err(DlError::NotReady(_))
+        ));
+    }
+
+    #[test]
+    fn forward_without_layers_errors() {
+        let mut m = Sequential::new(5);
+        assert!(m.forward(&Tensor::zeros([1, 2]), false).is_err());
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut a = mlp(10);
+        let b = mlp(11);
+        assert_ne!(a.flat_params(), b.flat_params());
+        let theirs = b.flat_params();
+        a.set_flat_params(&theirs);
+        assert_eq!(a.flat_params(), theirs);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_params_wrong_length_panics() {
+        let mut m = mlp(12);
+        m.set_flat_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn gradient_sync_hook_is_invoked_with_full_layout() {
+        struct Probe {
+            calls: usize,
+            len: usize,
+        }
+        impl GradientSync for Probe {
+            fn sync_gradients(&mut self, flat: &mut [f32]) {
+                self.calls += 1;
+                self.len = flat.len();
+                // Zeroing the gradient must freeze the parameters.
+                for g in flat.iter_mut() {
+                    *g = 0.0;
+                }
+            }
+        }
+        let data = toy_classification(40, 6);
+        let mut model = mlp(7);
+        let before = model.flat_params();
+        let mut probe = Probe { calls: 0, len: 0 };
+        let config = FitConfig {
+            epochs: 1,
+            batch_size: 10,
+            shuffle: false,
+            compute_accuracy: false,
+            ..Default::default()
+        };
+        model.fit(&data, &config, &mut probe).unwrap();
+        assert_eq!(probe.calls, 4);
+        assert_eq!(probe.len, model.param_count());
+        assert_eq!(
+            model.flat_params(),
+            before,
+            "zeroed grads must not move params"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let data = toy_classification(60, 20);
+            let mut model = mlp(21);
+            let config = FitConfig {
+                epochs: 3,
+                batch_size: 12,
+                ..Default::default()
+            };
+            model.fit(&data, &config, &mut NoSync).unwrap();
+            model.flat_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn history_counts_batch_steps() {
+        let data = toy_classification(50, 30);
+        let mut model = mlp(31);
+        let config = FitConfig {
+            epochs: 2,
+            batch_size: 20,
+            ..Default::default()
+        };
+        let h = model.fit(&data, &config, &mut NoSync).unwrap();
+        // 50 samples / 20 batch = 3 steps (trailing partial kept).
+        assert_eq!(h.epochs()[0].batch_steps, 3);
+        assert_eq!(h.total_batch_steps(), 6);
+    }
+
+    #[test]
+    fn validation_split_records_val_metrics() {
+        let data = toy_classification(100, 50);
+        let mut model = mlp(51);
+        let config = FitConfig {
+            epochs: 5,
+            batch_size: 20,
+            validation_split: 0.2,
+            ..Default::default()
+        };
+        let h = model.fit(&data, &config, &mut NoSync).unwrap();
+        for e in h.epochs() {
+            assert!(e.val_loss.is_some());
+            assert!(e.val_accuracy.is_some());
+            // 80 training samples / 20 batch = 4 steps.
+            assert_eq!(e.batch_steps, 4);
+        }
+        // Validation loss should end up low on this separable task.
+        assert!(h.epochs().last().unwrap().val_loss.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let data = toy_classification(60, 52);
+        let mut model = mlp(53);
+        // Freeze learning by zeroing gradients through the sync hook, so
+        // the loss plateaus immediately and patience kicks in.
+        struct ZeroGrad;
+        impl GradientSync for ZeroGrad {
+            fn sync_gradients(&mut self, flat: &mut [f32]) {
+                for g in flat.iter_mut() {
+                    *g = 0.0;
+                }
+            }
+        }
+        let config = FitConfig {
+            epochs: 50,
+            batch_size: 20,
+            shuffle: false,
+            early_stop_patience: Some(2),
+            ..Default::default()
+        };
+        let h = model.fit(&data, &config, &mut ZeroGrad).unwrap();
+        assert!(
+            h.epochs().len() <= 4,
+            "plateau should stop after ~1+patience epochs, ran {}",
+            h.epochs().len()
+        );
+    }
+
+    #[test]
+    fn invalid_validation_split_rejected() {
+        let data = toy_classification(10, 54);
+        let mut model = mlp(55);
+        let config = FitConfig {
+            validation_split: 1.0,
+            ..Default::default()
+        };
+        assert!(model.fit(&data, &config, &mut NoSync).is_err());
+        let config = FitConfig {
+            validation_split: -0.5,
+            ..Default::default()
+        };
+        assert!(model.fit(&data, &config, &mut NoSync).is_err());
+    }
+
+    #[test]
+    fn fit_scheduled_warmup_restores_base_lr() {
+        let data = toy_classification(60, 60);
+        let mut model = mlp(61);
+        let base = model.optimizer().unwrap().learning_rate();
+        let config = FitConfig {
+            epochs: 6,
+            batch_size: 20,
+            ..Default::default()
+        };
+        let h = model
+            .fit_scheduled(
+                &data,
+                &config,
+                crate::LrSchedule::LinearWarmup { warmup_epochs: 3 },
+                &mut NoSync,
+            )
+            .unwrap();
+        assert_eq!(h.epochs().len(), 6);
+        assert_eq!(h.epochs().last().unwrap().epoch, 5);
+        assert!((model.optimizer().unwrap().learning_rate() - base).abs() < 1e-9);
+        // Warmup training still learns.
+        assert!(h.final_loss().unwrap() < h.epochs()[0].loss);
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let mut model = mlp(40);
+        let empty = Dataset::new(Tensor::zeros([0, 2]), Tensor::zeros([0, 2]));
+        assert!(model
+            .fit(&empty, &FitConfig::default(), &mut NoSync)
+            .is_err());
+        assert!(model.evaluate(&empty, 4).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Optimizers: SGD, Adam, and RMSProp — the three used by the P1
+//! benchmarks (Table 1 of the paper: NT3/P1B3 use `sgd`, P1B1 uses `adam`,
+//! P1B2 uses `rmsprop`).
+//!
+//! The learning rate is mutable at runtime because the Horovod methodology
+//! scales it linearly with the worker count (`lr × nprocs`).
+
+use tensor::Tensor;
+
+/// The optimizer algorithm and its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba 2015) with Keras-default betas.
+    Adam {
+        /// Exponential decay rate of the first-moment estimate.
+        beta1: f32,
+        /// Exponential decay rate of the second-moment estimate.
+        beta2: f32,
+        /// Numerical-stability constant.
+        epsilon: f32,
+    },
+    /// RMSProp with Keras-default decay.
+    RmsProp {
+        /// Moving-average decay of the squared gradient.
+        rho: f32,
+        /// Numerical-stability constant.
+        epsilon: f32,
+    },
+}
+
+/// Per-parameter-slot optimizer state.
+#[derive(Debug, Clone, Default)]
+struct SlotState {
+    /// SGD velocity or Adam first moment.
+    m: Vec<f32>,
+    /// Adam second moment or RMSProp mean square.
+    v: Vec<f32>,
+    /// Number of updates applied to this slot (Adam bias correction).
+    t: u64,
+}
+
+/// A stateful optimizer applying updates tensor-by-tensor.
+///
+/// Each trainable tensor in the model is identified by a stable `slot`
+/// index; momentum/moment buffers are kept per slot.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    lr: f32,
+    /// Decoupled L2 weight decay coefficient (0 disables). P1B2 is "an MLP
+    /// network with regularization" — this is that knob.
+    weight_decay: f32,
+    slots: Vec<SlotState>,
+}
+
+impl Optimizer {
+    /// Plain SGD, the paper's NT3/P1B3 default (`lr = 0.001`).
+    pub fn sgd(lr: f32) -> Self {
+        Self::new(OptimizerKind::Sgd { momentum: 0.0 }, lr)
+    }
+
+    /// SGD with momentum.
+    pub fn sgd_momentum(lr: f32, momentum: f32) -> Self {
+        Self::new(OptimizerKind::Sgd { momentum }, lr)
+    }
+
+    /// Adam with Keras defaults, the P1B1 optimizer.
+    pub fn adam(lr: f32) -> Self {
+        Self::new(
+            OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                epsilon: 1e-7,
+            },
+            lr,
+        )
+    }
+
+    /// RMSProp with Keras defaults, the P1B2 optimizer.
+    pub fn rmsprop(lr: f32) -> Self {
+        Self::new(
+            OptimizerKind::RmsProp {
+                rho: 0.9,
+                epsilon: 1e-7,
+            },
+            lr,
+        )
+    }
+
+    /// Creates an optimizer from explicit hyperparameters.
+    ///
+    /// # Panics
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(kind: OptimizerKind, lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            kind,
+            lr,
+            weight_decay: 0.0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Enables decoupled L2 weight decay: every update also shrinks the
+    /// parameters by `lr × decay × p` (the AdamW-style decoupling, which
+    /// composes with all three algorithms).
+    ///
+    /// # Panics
+    /// Panics if `decay` is negative or non-finite.
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        assert!(decay.is_finite() && decay >= 0.0, "weight decay must be >= 0");
+        self.weight_decay = decay;
+        self
+    }
+
+    /// The configured weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (used for warm restarts in tests).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies the Horovod linear scaling rule: `lr ← lr × workers`.
+    pub fn scale_learning_rate(&mut self, workers: usize) {
+        assert!(workers > 0, "worker count must be positive");
+        self.lr *= workers as f32;
+    }
+
+    /// The algorithm in use.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Applies one update to `param` given `grad`, using the state of
+    /// `slot`.
+    ///
+    /// # Panics
+    /// Panics if `param` and `grad` lengths differ.
+    pub fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        assert_eq!(
+            param.len(),
+            grad.len(),
+            "optimizer: parameter/gradient length mismatch"
+        );
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, SlotState::default);
+        }
+        if self.weight_decay > 0.0 {
+            let shrink = 1.0 - self.lr * self.weight_decay;
+            for p in param.data_mut() {
+                *p *= shrink;
+            }
+        }
+        let state = &mut self.slots[slot];
+        let n = param.len();
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                if momentum == 0.0 {
+                    for (p, &g) in param.data_mut().iter_mut().zip(grad.data()) {
+                        *p -= self.lr * g;
+                    }
+                } else {
+                    if state.m.len() != n {
+                        state.m = vec![0.0; n];
+                    }
+                    for ((p, &g), v) in param
+                        .data_mut()
+                        .iter_mut()
+                        .zip(grad.data())
+                        .zip(&mut state.m)
+                    {
+                        *v = momentum * *v - self.lr * g;
+                        *p += *v;
+                    }
+                }
+            }
+            OptimizerKind::Adam {
+                beta1,
+                beta2,
+                epsilon,
+            } => {
+                if state.m.len() != n {
+                    state.m = vec![0.0; n];
+                    state.v = vec![0.0; n];
+                    state.t = 0;
+                }
+                state.t += 1;
+                let t = state.t as f64;
+                let bc1 = 1.0 - (beta1 as f64).powf(t);
+                let bc2 = 1.0 - (beta2 as f64).powf(t);
+                let alpha = self.lr as f64 * bc2.sqrt() / bc1;
+                for (((p, &g), m), v) in param
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(&mut state.m)
+                    .zip(&mut state.v)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    *p -= (alpha * (*m as f64) / ((*v as f64).sqrt() + epsilon as f64)) as f32;
+                }
+            }
+            OptimizerKind::RmsProp { rho, epsilon } => {
+                if state.v.len() != n {
+                    state.v = vec![0.0; n];
+                }
+                for ((p, &g), v) in param
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(&mut state.v)
+                {
+                    *v = rho * *v + (1.0 - rho) * g * g;
+                    *p -= self.lr * g / (v.sqrt() + epsilon);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(mut opt: Optimizer, steps: usize) -> f32 {
+        // Minimize f(x) = x² starting at x = 5; gradient is 2x.
+        let mut x = Tensor::from_vec([1], vec![5.0]).unwrap();
+        for _ in 0..steps {
+            let g = Tensor::from_vec([1], vec![2.0 * x.data()[0]]).unwrap();
+            opt.update(0, &mut x, &g);
+        }
+        x.data()[0].abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(quadratic_descent(Optimizer::sgd(0.1), 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        assert!(quadratic_descent(Optimizer::sgd_momentum(0.05, 0.9), 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(quadratic_descent(Optimizer::adam(0.2), 300) < 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        assert!(quadratic_descent(Optimizer::rmsprop(0.05), 400) < 0.05);
+    }
+
+    #[test]
+    fn sgd_step_is_exactly_lr_times_grad() {
+        let mut opt = Optimizer::sgd(0.5);
+        let mut p = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let g = Tensor::from_vec([2], vec![0.2, -0.4]).unwrap();
+        opt.update(0, &mut p, &g);
+        assert_eq!(p.data(), &[0.9, 2.2]);
+    }
+
+    #[test]
+    fn slots_have_independent_state() {
+        let mut opt = Optimizer::adam(0.1);
+        let mut a = Tensor::from_vec([1], vec![1.0]).unwrap();
+        let mut b = Tensor::from_vec([1], vec![1.0]).unwrap();
+        let g = Tensor::from_vec([1], vec![1.0]).unwrap();
+        // Updating slot 0 many times must not affect slot 1's bias correction.
+        for _ in 0..10 {
+            opt.update(0, &mut a, &g);
+        }
+        let mut fresh = Optimizer::adam(0.1);
+        let mut b2 = Tensor::from_vec([1], vec![1.0]).unwrap();
+        opt.update(1, &mut b, &g);
+        fresh.update(0, &mut b2, &g);
+        assert!((b.data()[0] - b2.data()[0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linear_lr_scaling() {
+        let mut opt = Optimizer::sgd(0.001);
+        opt.scale_learning_rate(24);
+        assert!((opt.learning_rate() - 0.024).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Optimizer::sgd(0.1);
+        let mut p = Tensor::zeros([2]);
+        let g = Tensor::zeros([3]);
+        opt.update(0, &mut p, &g);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn non_positive_lr_rejected() {
+        Optimizer::sgd(0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Optimizer::sgd(0.1).with_weight_decay(0.5);
+        let mut p = Tensor::from_vec([1], vec![2.0]).unwrap();
+        let g = Tensor::zeros([1]);
+        opt.update(0, &mut p, &g);
+        // p <- p * (1 - lr*decay) = 2.0 * 0.95
+        assert!((p.data()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_regularizes_against_blowup() {
+        // On a diverging direction (gradient pushing away from 0), decay
+        // bounds the parameter magnitude.
+        let mut plain = Optimizer::sgd(0.1);
+        let mut decayed = Optimizer::sgd(0.1).with_weight_decay(1.0);
+        let mut a = Tensor::from_vec([1], vec![1.0]).unwrap();
+        let mut b = Tensor::from_vec([1], vec![1.0]).unwrap();
+        let g = Tensor::from_vec([1], vec![-0.5]).unwrap();
+        for _ in 0..100 {
+            plain.update(0, &mut a, &g);
+            decayed.update(0, &mut b, &g);
+        }
+        assert!(b.data()[0].abs() < a.data()[0].abs());
+        assert!(b.data()[0].abs() < 1.0, "decayed param stays bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight decay must be >= 0")]
+    fn negative_decay_rejected() {
+        let _ = Optimizer::sgd(0.1).with_weight_decay(-0.1);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // Adam's bias-corrected first step has magnitude ≈ lr regardless of
+        // gradient scale.
+        let mut opt = Optimizer::adam(0.01);
+        let mut p = Tensor::from_vec([1], vec![0.0]).unwrap();
+        let g = Tensor::from_vec([1], vec![123.0]).unwrap();
+        opt.update(0, &mut p, &g);
+        assert!(
+            (p.data()[0].abs() - 0.01).abs() < 1e-4,
+            "step {}",
+            p.data()[0]
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Learning-rate schedules.
+//!
+//! The paper scales the learning rate linearly with the worker count
+//! (§2.3.2) and cites the large-batch training literature (McCandlish et
+//! al. [20], You et al. [36]) that pairs that rule with a **warmup**: the
+//! scaled rate is reached gradually over the first epochs to avoid the
+//! early-training instability large effective batches cause. This module
+//! provides the standard schedules; `Sequential::fit_scheduled` applies
+//! one per epoch.
+
+/// A per-epoch learning-rate schedule, mapping epoch index to a multiplier
+/// of the base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The base rate throughout.
+    Constant,
+    /// Linear ramp from `1/warmup_epochs` of the rate to the full rate
+    /// over `warmup_epochs`, then constant — the Goyal-style warmup used
+    /// with linear LR scaling.
+    LinearWarmup {
+        /// Epochs over which to ramp.
+        warmup_epochs: usize,
+    },
+    /// Multiply the rate by `factor` every `every_epochs` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every_epochs: usize,
+        /// Decay multiplier per step (e.g. 0.1).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier applied to the base learning rate at `epoch`
+    /// (0-based).
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (zero warmup/interval,
+    /// non-positive decay factor).
+    pub fn multiplier(self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::LinearWarmup { warmup_epochs } => {
+                assert!(warmup_epochs > 0, "warmup_epochs must be positive");
+                if epoch >= warmup_epochs {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / warmup_epochs as f32
+                }
+            }
+            LrSchedule::StepDecay {
+                every_epochs,
+                factor,
+            } => {
+                assert!(every_epochs > 0, "every_epochs must be positive");
+                assert!(factor > 0.0, "decay factor must be positive");
+                factor.powi((epoch / every_epochs) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for e in 0..10 {
+            assert_eq!(LrSchedule::Constant.multiplier(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::LinearWarmup { warmup_epochs: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(2), 0.75);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(4), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay {
+            every_epochs: 3,
+            factor: 0.5,
+        };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert_eq!(s.multiplier(3), 0.5);
+        assert_eq!(s.multiplier(6), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup_epochs must be positive")]
+    fn zero_warmup_panics() {
+        LrSchedule::LinearWarmup { warmup_epochs: 0 }.multiplier(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every_epochs must be positive")]
+    fn zero_interval_panics() {
+        LrSchedule::StepDecay {
+            every_epochs: 0,
+            factor: 0.5,
+        }
+        .multiplier(0);
+    }
+}

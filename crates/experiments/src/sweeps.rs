@@ -1,0 +1,127 @@
+//! Shared model-plane sweep helpers.
+
+use candle::{BenchId, HyperParams};
+use cluster::{run::simulate, LoadMethod, Machine, RunConfig, RunReport, ScalingMode};
+
+/// The paper's Summit GPU counts for strong scaling (Figs 6/8/9/11/14/16).
+pub const SUMMIT_GPU_SWEEP: [usize; 8] = [1, 6, 12, 24, 48, 96, 192, 384];
+
+/// The paper's Theta node counts (Figs 13/15/17; up to 384 nodes).
+pub const THETA_NODE_SWEEP: [usize; 6] = [12, 24, 48, 96, 192, 384];
+
+/// The paper's weak-scaling GPU counts (Figs 18/20/21; up to 3,072).
+pub const WEAK_GPU_SWEEP: [usize; 7] = [48, 96, 192, 384, 768, 1536, 3072];
+
+/// Original vs optimized at one scale point.
+#[derive(Debug, Clone)]
+pub struct MethodComparisonRow {
+    /// Worker count (GPUs or nodes).
+    pub workers: usize,
+    /// Run with `pandas.read_csv` defaults.
+    pub original: RunReport,
+    /// Run with the chunked `low_memory=False` loader.
+    pub optimized: RunReport,
+}
+
+impl MethodComparisonRow {
+    /// Total-runtime improvement percentage.
+    pub fn improvement_pct(&self) -> f64 {
+        self.optimized.runtime_improvement_pct(&self.original)
+    }
+
+    /// Energy-saving percentage.
+    pub fn energy_saving_pct(&self) -> f64 {
+        self.optimized.energy_saving_pct(&self.original)
+    }
+}
+
+/// Simulates original-vs-optimized across a worker sweep, skipping scale
+/// points the configuration cannot run (e.g. strong scaling with more
+/// workers than epochs).
+pub fn method_comparison_sweep(
+    bench: BenchId,
+    machine: Machine,
+    scaling: ScalingMode,
+    workers: &[usize],
+) -> Vec<MethodComparisonRow> {
+    let hp = HyperParams::of(bench);
+    let profile = hp.workload();
+    workers
+        .iter()
+        .filter_map(|&w| {
+            let mk = |method: LoadMethod| {
+                simulate(
+                    &profile,
+                    &RunConfig {
+                        machine,
+                        workers: w,
+                        batch_size: hp.batch_size,
+                        scaling,
+                        load_method: method,
+                    },
+                )
+            };
+            match (
+                mk(LoadMethod::PandasDefault),
+                mk(LoadMethod::ChunkedLowMemoryFalse),
+            ) {
+                (Ok(original), Ok(optimized)) => Some(MethodComparisonRow {
+                    workers: w,
+                    original,
+                    optimized,
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::calib::Bench;
+
+    #[test]
+    fn sweep_produces_rows_and_positive_improvement() {
+        let rows = method_comparison_sweep(
+            Bench::Nt3,
+            Machine::Summit,
+            ScalingMode::Strong,
+            &SUMMIT_GPU_SWEEP,
+        );
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.improvement_pct() > 0.0, "at {} workers", r.workers);
+            assert!(r.energy_saving_pct() > 0.0, "at {} workers", r.workers);
+        }
+        // Improvement grows as loading dominates (strong scaling).
+        assert!(rows.last().unwrap().improvement_pct() > rows[0].improvement_pct());
+    }
+
+    #[test]
+    fn sweep_skips_impossible_points() {
+        // P1B3 has 1 epoch: strong scaling beyond 1 worker is impossible.
+        let rows = method_comparison_sweep(
+            Bench::P1b3,
+            Machine::Summit,
+            ScalingMode::Strong,
+            &SUMMIT_GPU_SWEEP,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].workers, 1);
+    }
+
+    #[test]
+    fn weak_scaling_sweep_reaches_3072() {
+        let rows = method_comparison_sweep(
+            Bench::Nt3,
+            Machine::Summit,
+            ScalingMode::Weak {
+                epochs_per_worker: 8,
+            },
+            &WEAK_GPU_SWEEP,
+        );
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.last().unwrap().workers, 3072);
+    }
+}

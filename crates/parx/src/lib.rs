@@ -1,0 +1,42 @@
+//! Parallel-execution substrate for the CANDLE reproduction.
+//!
+//! The heavy numeric kernels (`tensor`'s matmul/conv, `dataio`'s CSV parse)
+//! need fork–join data parallelism, and the simulated Horovod workers in
+//! `collectives` need long-lived threads. This crate provides both:
+//!
+//! * [`parallel_for`] / [`parallel_map`] — scoped fork–join over index
+//!   ranges, built directly on `std::thread::scope`, with work split into
+//!   contiguous chunks (one per thread) so cache behaviour matches what an
+//!   HPC programmer would hand-write;
+//! * [`WorkerPool`] — a persistent pool with crossbeam channels for
+//!   fire-and-forget tasks plus a `join` barrier, used where thread spawn
+//!   cost would otherwise dominate (per-batch-step parallelism).
+//!
+//! The design follows the "chunked parallel iterator" shape of rayon (see
+//! the workspace coding guides) but is implemented in-tree: the reproduction
+//! needs deterministic chunk boundaries so that numeric reductions are
+//! bitwise reproducible for a fixed thread count.
+
+mod chunk;
+mod pool;
+mod scope;
+
+pub use chunk::{chunk_ranges, Chunk};
+pub use pool::WorkerPool;
+pub use scope::{parallel_for, parallel_map, parallel_reduce};
+
+/// Returns the degree of parallelism used by default: the number of
+/// available hardware threads, with a floor of one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(super::default_threads() >= 1);
+    }
+}

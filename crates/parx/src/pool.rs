@@ -1,0 +1,185 @@
+//! Persistent worker pool.
+//!
+//! The fork–join helpers in [`crate::scope`] spawn threads per call, which
+//! is fine for coarse work but too costly inside a per-batch-step loop. The
+//! `WorkerPool` keeps `k` threads alive and feeds them boxed closures over a
+//! crossbeam MPMC channel; `join` is a barrier that waits until every task
+//! submitted so far has finished.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracks outstanding tasks for the `join` barrier.
+struct Outstanding {
+    count: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    outstanding: Arc<Outstanding>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `size` threads.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "WorkerPool: size must be positive");
+        let (sender, receiver) = unbounded::<Task>();
+        let outstanding = Arc::new(Outstanding {
+            count: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                let outstanding = Arc::clone(&outstanding);
+                std::thread::Builder::new()
+                    .name(format!("parx-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                            let mut count = outstanding.count.lock();
+                            *count -= 1;
+                            if *count == 0 {
+                                outstanding.all_done.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            outstanding,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits a task for execution on some worker.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, task: F) {
+        {
+            let mut count = self.outstanding.count.lock();
+            *count += 1;
+        }
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(task))
+            .expect("worker channel closed");
+    }
+
+    /// Blocks until every submitted task has completed.
+    pub fn join(&self) {
+        let mut count = self.outstanding.count.lock();
+        while *count > 0 {
+            self.outstanding.all_done.wait(&mut count);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining tasks and exit.
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn join_with_no_tasks_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.join();
+    }
+
+    #[test]
+    fn multiple_join_rounds() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 1..=5 {
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.join();
+            assert_eq!(counter.load(Ordering::Relaxed), round * 10);
+        }
+    }
+
+    #[test]
+    fn drop_waits_for_in_flight_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_panics() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn tasks_run_on_pool_threads() {
+        let pool = WorkerPool::new(2);
+        let names = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..8 {
+            let names = Arc::clone(&names);
+            pool.submit(move || {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                names.lock().push(name);
+            });
+        }
+        pool.join();
+        let names = names.lock();
+        assert_eq!(names.len(), 8);
+        assert!(names.iter().all(|n| n.starts_with("parx-worker-")));
+    }
+}

@@ -1,0 +1,194 @@
+//! Scoped fork–join helpers.
+//!
+//! These are the workhorses behind the numeric kernels. Each call splits an
+//! index range into contiguous chunks (one per thread) and runs the body on
+//! scoped threads, so borrows of surrounding data work without `Arc`.
+//! For small ranges the helpers degrade to a sequential loop — spawn cost
+//! would otherwise swamp the work (see the perf-book guidance on
+//! parallelization thresholds).
+
+use crate::chunk::{chunk_ranges, Chunk};
+
+/// Minimum number of items per spawned thread before parallelism pays off.
+/// Below `threads * MIN_ITEMS_PER_THREAD` items the helpers run sequentially.
+const MIN_ITEMS_PER_THREAD: usize = 256;
+
+/// Runs `body(chunk)` for every chunk of `0..n`, in parallel across up to
+/// `threads` scoped threads.
+///
+/// The chunk partition is a pure function of `(n, threads)`, so side effects
+/// that are chunk-local (e.g. writing disjoint slices) are deterministic.
+pub fn parallel_for<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(Chunk) + Sync,
+{
+    assert!(threads > 0, "parallel_for: threads must be positive");
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_ranges(n, threads);
+    if chunks.len() == 1 || n < threads * MIN_ITEMS_PER_THREAD {
+        for c in chunks {
+            body(c);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        // First chunk runs on the calling thread; the rest are spawned.
+        let (first, rest) = chunks.split_first().expect("nonempty by construction");
+        let handles: Vec<_> = rest
+            .iter()
+            .map(|&c| {
+                scope.spawn({
+                    let body = &body;
+                    move || body(c)
+                })
+            })
+            .collect();
+        body(*first);
+        for h in handles {
+            h.join().expect("parallel_for worker panicked");
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel and collects results in index order.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    {
+        let slots = SendSlice(out.as_mut_ptr() as usize, std::marker::PhantomData::<T>);
+        parallel_for(n, threads, |chunk| {
+            for i in chunk.start..chunk.end {
+                // SAFETY: chunks are disjoint, so each index is written by
+                // exactly one thread; the Vec outlives the scope.
+                unsafe {
+                    let base = slots.0 as *mut Option<T>;
+                    *base.add(i) = Some(f(i));
+                }
+            }
+        });
+    }
+    out.into_iter()
+        .map(|x| x.expect("parallel_map: every index filled"))
+        .collect()
+}
+
+/// Wrapper making a raw base pointer `Sync` for disjoint-index writes.
+struct SendSlice<T>(usize, std::marker::PhantomData<T>);
+unsafe impl<T> Sync for SendSlice<T> {}
+
+/// Reduces `0..n` in parallel: each chunk folds locally with `fold`, then
+/// the per-chunk partials are combined **in chunk order** with `combine`.
+///
+/// Combining in chunk order keeps floating-point reductions reproducible for
+/// a fixed `(n, threads)` pair.
+pub fn parallel_reduce<T, Fold, Combine>(
+    n: usize,
+    threads: usize,
+    identity: T,
+    fold: Fold,
+    combine: Combine,
+) -> T
+where
+    T: Send + Clone,
+    Fold: Fn(T, usize) -> T + Sync,
+    Combine: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return identity;
+    }
+    let chunks = chunk_ranges(n, threads);
+    let partials: Vec<T> = if chunks.len() == 1 || n < threads * MIN_ITEMS_PER_THREAD {
+        chunks
+            .iter()
+            .map(|c| (c.start..c.end).fold(identity.clone(), |acc, i| fold(acc, i)))
+            .collect()
+    } else {
+        let fold = &fold;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&c| {
+                    let id = identity.clone();
+                    scope.spawn(move || (c.start..c.end).fold(id, |acc, i| fold(acc, i)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel_reduce worker panicked"))
+                .collect()
+        })
+    };
+    partials.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 8, |chunk| {
+            for i in chunk.start..chunk.end {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_zero_items_is_noop() {
+        parallel_for(0, 4, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(5000, 7, |i| i * 3);
+        assert_eq!(v.len(), 5000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_input_sequential_path() {
+        let v = parallel_map(3, 16, |i| i + 1);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_reduce_sums_like_sequential() {
+        let n = 100_000;
+        let par = parallel_reduce(n, 8, 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        let seq: u64 = (0..n as u64).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_reduce_float_deterministic_for_fixed_threads() {
+        let n = 50_000;
+        let run = || parallel_reduce(n, 6, 0.0f64, |acc, i| acc + (i as f64).sqrt(), |a, b| a + b);
+        let bits_a = run().to_bits();
+        let bits_b = run().to_bits();
+        assert_eq!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn parallel_reduce_empty_returns_identity() {
+        let r = parallel_reduce(0, 4, 42u32, |acc, _| acc + 1, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be positive")]
+    fn zero_threads_panics() {
+        parallel_for(10, 0, |_| {});
+    }
+}

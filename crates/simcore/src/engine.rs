@@ -1,0 +1,239 @@
+//! Deterministic discrete-event loop.
+//!
+//! Events are boxed closures over a user state type `S`. Firing an event
+//! may schedule further events through the [`EventQueue`] handle it
+//! receives. Ties in firing time are broken by insertion order, which makes
+//! every simulation a pure function of its inputs.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type EventFn<S> = Box<dyn FnOnce(&mut S, &mut EventQueue<S>, SimTime)>;
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    event: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The pending-event set; handed to firing events so they can schedule
+/// successors.
+pub struct EventQueue<S> {
+    heap: BinaryHeap<Reverse<Scheduled<S>>>,
+    seq: u64,
+}
+
+impl<S> EventQueue<S> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn schedule(
+        &mut self,
+        time: SimTime,
+        event: impl FnOnce(&mut S, &mut EventQueue<S>, SimTime) + 'static,
+    ) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event: Box::new(event),
+        }));
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<S>> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+/// The event loop: owns the queue and the simulation clock.
+pub struct Engine<S> {
+    queue: EventQueue<S>,
+    now: SimTime,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at absolute `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
+    pub fn schedule(
+        &mut self,
+        time: SimTime,
+        event: impl FnOnce(&mut S, &mut EventQueue<S>, SimTime) + 'static,
+    ) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.schedule(time, event);
+    }
+
+    /// Schedules an event `delay` seconds from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: f64,
+        event: impl FnOnce(&mut S, &mut EventQueue<S>, SimTime) + 'static,
+    ) {
+        let t = self.now.after(delay);
+        self.queue.schedule(t, event);
+    }
+
+    /// Runs until the queue drains; returns the final time.
+    pub fn run(&mut self, state: &mut S) -> SimTime {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "event heap produced out-of-order time");
+            self.now = ev.time;
+            (ev.event)(state, &mut self.queue, self.now);
+        }
+        self.now
+    }
+
+    /// Runs events with `time <= horizon`; later events stay queued. The
+    /// clock advances to `horizon` (or the last fired event if the queue
+    /// drained first).
+    pub fn run_until(&mut self, state: &mut S, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.time;
+            (ev.event)(state, &mut self.queue, self.now);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.now
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        engine.schedule(SimTime::new(3.0), |s: &mut Vec<u32>, _, _| s.push(3));
+        engine.schedule(SimTime::new(1.0), |s, _, _| s.push(1));
+        engine.schedule(SimTime::new(2.0), |s, _, _| s.push(2));
+        let end = engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(end, SimTime::new(3.0));
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..10u32 {
+            engine.schedule(SimTime::new(5.0), move |s: &mut Vec<u32>, _, _| s.push(i));
+        }
+        engine.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut engine: Engine<Vec<f64>> = Engine::new();
+        let mut log = Vec::new();
+        // A self-perpetuating clock tick that stops after 5 ticks.
+        fn tick(s: &mut Vec<f64>, q: &mut EventQueue<Vec<f64>>, now: SimTime) {
+            s.push(now.seconds());
+            if s.len() < 5 {
+                q.schedule(now.after(1.0), tick);
+            }
+        }
+        engine.schedule(SimTime::new(0.0), tick);
+        engine.run(&mut log);
+        assert_eq!(log, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        engine.schedule(SimTime::new(1.0), |s: &mut Vec<u32>, _, _| s.push(1));
+        engine.schedule(SimTime::new(10.0), |s, _, _| s.push(10));
+        let t = engine.run_until(&mut log, SimTime::new(5.0));
+        assert_eq!(log, vec![1]);
+        assert_eq!(t, SimTime::new(5.0));
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimTime::new(5.0), |_, _, _| {});
+        engine.run(&mut ());
+        engine.schedule(SimTime::new(1.0), |_, _, _| {});
+    }
+
+    #[test]
+    fn empty_run_ends_at_zero() {
+        let mut engine: Engine<()> = Engine::new();
+        assert_eq!(engine.run(&mut ()), SimTime::ZERO);
+    }
+}

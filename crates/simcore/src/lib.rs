@@ -1,0 +1,22 @@
+//! `simcore` — a small discrete-event simulation engine.
+//!
+//! The `cluster` crate simulates full-scale Summit/Theta runs as sequences
+//! of timed events (phase starts, per-device power-state changes, sampled
+//! power readings). This crate provides the machinery:
+//!
+//! * [`SimTime`] — simulated seconds with total ordering;
+//! * [`Engine`] / [`EventQueue`] — a deterministic event loop (ties broken
+//!   by insertion order, so runs are reproducible);
+//! * [`FifoResource`] — a capacity-`c` FIFO server for queueing models;
+//! * [`TimeSeries`] — a step-function series with trapezoid-free exact
+//!   integration, used for power traces and energy accounting.
+
+mod engine;
+mod resource;
+mod series;
+mod time;
+
+pub use engine::{Engine, EventQueue};
+pub use resource::FifoResource;
+pub use series::TimeSeries;
+pub use time::SimTime;

@@ -1,0 +1,135 @@
+//! A capacity-`c` FIFO resource for queueing models.
+//!
+//! The cluster I/O model uses this to reason about how many concurrent
+//! file-system readers a simulated storage target admits; excess requests
+//! queue in arrival order. The resource is pure bookkeeping — callers drive
+//! it from event handlers with explicit times.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A pending or admitted request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Caller-chosen request id.
+    pub request: u64,
+    /// Time the request was admitted to service.
+    pub start: SimTime,
+}
+
+/// FIFO server pool with fixed concurrency.
+#[derive(Debug)]
+pub struct FifoResource {
+    capacity: usize,
+    in_service: Vec<u64>,
+    waiting: VecDeque<u64>,
+}
+
+impl FifoResource {
+    /// Creates a resource admitting up to `capacity` concurrent requests.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Self {
+            capacity,
+            in_service: Vec::new(),
+            waiting: VecDeque::new(),
+        }
+    }
+
+    /// Requests admission at time `now`. Returns `Some(admission)` if a
+    /// server is free, otherwise queues the request.
+    pub fn acquire(&mut self, request: u64, now: SimTime) -> Option<Admission> {
+        if self.in_service.len() < self.capacity {
+            self.in_service.push(request);
+            Some(Admission {
+                request,
+                start: now,
+            })
+        } else {
+            self.waiting.push_back(request);
+            None
+        }
+    }
+
+    /// Releases a previously admitted request; if another request was
+    /// waiting, it is admitted and returned.
+    ///
+    /// # Panics
+    /// Panics if `request` was not in service.
+    pub fn release(&mut self, request: u64, now: SimTime) -> Option<Admission> {
+        let pos = self
+            .in_service
+            .iter()
+            .position(|&r| r == request)
+            .expect("release of request not in service");
+        self.in_service.swap_remove(pos);
+        self.waiting.pop_front().map(|next| {
+            self.in_service.push(next);
+            Admission {
+                request: next,
+                start: now,
+            }
+        })
+    }
+
+    /// Requests currently being served.
+    pub fn in_service(&self) -> usize {
+        self.in_service.len()
+    }
+
+    /// Requests queued behind the servers.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Configured concurrency.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity() {
+        let mut r = FifoResource::new(2);
+        assert!(r.acquire(1, SimTime::ZERO).is_some());
+        assert!(r.acquire(2, SimTime::ZERO).is_some());
+        assert!(r.acquire(3, SimTime::ZERO).is_none());
+        assert_eq!(r.in_service(), 2);
+        assert_eq!(r.queued(), 1);
+    }
+
+    #[test]
+    fn release_admits_fifo() {
+        let mut r = FifoResource::new(1);
+        r.acquire(1, SimTime::ZERO);
+        r.acquire(2, SimTime::ZERO);
+        r.acquire(3, SimTime::ZERO);
+        let next = r.release(1, SimTime::new(5.0)).unwrap();
+        assert_eq!(next.request, 2);
+        assert_eq!(next.start, SimTime::new(5.0));
+        let next = r.release(2, SimTime::new(9.0)).unwrap();
+        assert_eq!(next.request, 3);
+        assert!(r.release(3, SimTime::new(10.0)).is_none());
+        assert_eq!(r.in_service(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in service")]
+    fn release_unknown_panics() {
+        let mut r = FifoResource::new(1);
+        r.release(42, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        FifoResource::new(0);
+    }
+}

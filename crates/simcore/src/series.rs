@@ -1,0 +1,234 @@
+//! Step-function time series.
+//!
+//! Power traces are right-continuous step functions: the device holds a
+//! power level until the next state change. Energy is the exact integral of
+//! that step function — no trapezoid approximation needed. `TimeSeries`
+//! stores the breakpoints and provides exact integration plus fixed-rate
+//! resampling (to mimic `nvidia-smi`'s 1 Hz and CapMC's 2 Hz sampling).
+
+use crate::time::SimTime;
+
+/// A right-continuous step function of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Breakpoints `(t, value)`: the series equals `value` on `[t, next_t)`.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Appends a breakpoint; times must be non-decreasing. A breakpoint at
+    /// the same time as the previous one replaces it.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last breakpoint.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "TimeSeries breakpoints must be non-decreasing");
+            if t == last_t {
+                self.points.pop();
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no breakpoints exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Value at time `t` (the most recent breakpoint at or before `t`).
+    /// Returns 0 before the first breakpoint or for an empty series.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Exact integral over `[from, to]` (for power in watts this is energy
+    /// in joules).
+    ///
+    /// # Panics
+    /// Panics if `from > to`.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from <= to, "integral bounds reversed");
+        if self.points.is_empty() || from == to {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut cursor = from;
+        // Walk breakpoints inside (from, to].
+        for &(t, _) in &self.points {
+            if t <= cursor {
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            total += self.value_at(cursor) * (t.seconds() - cursor.seconds());
+            cursor = t;
+        }
+        total += self.value_at(cursor) * (to.seconds() - cursor.seconds());
+        total
+    }
+
+    /// Samples the series at fixed `interval` seconds over `[0, end]`,
+    /// mimicking a polling power meter. Returns `(t, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `interval <= 0`.
+    pub fn sample(&self, interval: f64, end: SimTime) -> Vec<(f64, f64)> {
+        assert!(interval > 0.0, "sample interval must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= end.seconds() + 1e-12 {
+            out.push((t, self.value_at(SimTime::new(t))));
+            t += interval;
+        }
+        out
+    }
+
+    /// Mean value over `[from, to]` (0 if the span is empty).
+    pub fn mean(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.seconds() - from.seconds();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integral(from, to) / span
+        }
+    }
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1.0), 10.0);
+        ts.push(t(3.0), 20.0);
+        assert_eq!(ts.value_at(t(0.5)), 0.0);
+        assert_eq!(ts.value_at(t(1.0)), 10.0);
+        assert_eq!(ts.value_at(t(2.9)), 10.0);
+        assert_eq!(ts.value_at(t(3.0)), 20.0);
+        assert_eq!(ts.value_at(t(100.0)), 20.0);
+    }
+
+    #[test]
+    fn integral_exact() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 100.0);
+        ts.push(t(10.0), 300.0);
+        ts.push(t(20.0), 50.0);
+        // [0,10): 100*10 = 1000; [10,20): 300*10 = 3000; [20,30]: 50*10 = 500.
+        assert!((ts.integral(t(0.0), t(30.0)) - 4500.0).abs() < 1e-9);
+        // Partial spans.
+        assert!((ts.integral(t(5.0), t(15.0)) - (100.0 * 5.0 + 300.0 * 5.0)).abs() < 1e-9);
+        assert_eq!(ts.integral(t(7.0), t(7.0)), 0.0);
+    }
+
+    #[test]
+    fn duplicate_time_replaces() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1.0), 5.0);
+        ts.push(t(1.0), 9.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.value_at(t(1.0)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_time_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(2.0), 1.0);
+        ts.push(t(1.0), 1.0);
+    }
+
+    #[test]
+    fn sampling_mimics_polling_meter() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 60.0);
+        ts.push(t(2.5), 120.0);
+        let samples = ts.sample(1.0, t(4.0));
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0.0, 60.0));
+        assert_eq!(samples[2], (2.0, 60.0));
+        assert_eq!(samples[3], (3.0, 120.0));
+    }
+
+    #[test]
+    fn mean_over_span() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 10.0);
+        ts.push(t(5.0), 30.0);
+        assert!((ts.mean(t(0.0), t(10.0)) - 20.0).abs() < 1e-9);
+        assert_eq!(ts.mean(t(3.0), t(3.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_zero_everywhere() {
+        let ts = TimeSeries::new();
+        assert_eq!(ts.value_at(t(5.0)), 0.0);
+        assert_eq!(ts.integral(t(0.0), t(10.0)), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn integral_is_additive(
+            values in proptest::collection::vec(0.0f64..500.0, 1..10),
+            split in 0.0f64..100.0
+        ) {
+            let mut ts = TimeSeries::new();
+            for (i, &v) in values.iter().enumerate() {
+                ts.push(t(i as f64 * 7.0), v);
+            }
+            let end = t(100.0);
+            let mid = t(split);
+            let whole = ts.integral(t(0.0), end);
+            let parts = ts.integral(t(0.0), mid) + ts.integral(mid, end);
+            prop_assert!((whole - parts).abs() < 1e-6);
+        }
+
+        #[test]
+        fn mean_bounded_by_extremes(
+            values in proptest::collection::vec(0.0f64..500.0, 1..10)
+        ) {
+            let mut ts = TimeSeries::new();
+            for (i, &v) in values.iter().enumerate() {
+                ts.push(t(i as f64), v);
+            }
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(0.0, f64::max);
+            let m = ts.mean(t(0.0), t(values.len() as f64));
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

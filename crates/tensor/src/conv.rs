@@ -1,0 +1,393 @@
+//! 1-D convolution and max-pooling kernels for the NT3 network.
+//!
+//! Layout follows Keras: activations are `(batch, steps, channels)` and
+//! convolution kernels are `(kernel_size, in_channels, out_channels)`.
+//! Padding is always `valid` (as in the NT3 benchmark definition) and
+//! pooling windows are non-overlapping (`stride == pool_size`, the Keras
+//! default).
+
+use crate::{Tensor, TensorError};
+
+/// Output length of a valid-padding 1-D convolution.
+///
+/// Returns `None` if the input is shorter than the kernel.
+pub fn conv1d_output_len(steps: usize, kernel: usize, stride: usize) -> Option<usize> {
+    if kernel == 0 || stride == 0 || steps < kernel {
+        return None;
+    }
+    Some((steps - kernel) / stride + 1)
+}
+
+/// Output length of a non-overlapping 1-D max pool.
+pub fn pool1d_output_len(steps: usize, pool: usize) -> Option<usize> {
+    if pool == 0 || steps < pool {
+        return None;
+    }
+    Some(steps / pool)
+}
+
+/// Forward 1-D convolution.
+///
+/// * `input`:  `(batch, steps, in_ch)`
+/// * `weights`: `(kernel, in_ch, out_ch)`
+///
+/// Returns `(batch, out_steps, out_ch)`.
+pub fn conv1d_forward(
+    input: &Tensor,
+    weights: &Tensor,
+    stride: usize,
+) -> Result<Tensor, TensorError> {
+    let (batch, steps, in_ch) = input.shape().as_3d();
+    let (kernel, w_in, out_ch) = weights.shape().as_3d();
+    let out_steps =
+        conv1d_output_len(steps, kernel, stride).ok_or_else(|| TensorError::ShapeMismatch {
+            left: input.shape().clone(),
+            right: weights.shape().clone(),
+        })?;
+    if w_in != in_ch {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().clone(),
+            right: weights.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([batch, out_steps, out_ch]);
+    let (id, wd) = (input.data(), weights.data());
+    let od = RawBase(out.data_mut().as_mut_ptr() as usize);
+    parx::parallel_for(batch, parx::default_threads(), |chunk| {
+        for b in chunk.start..chunk.end {
+            // SAFETY: batches are disjoint across chunks.
+            let obatch = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (od.0 as *mut f32).add(b * out_steps * out_ch),
+                    out_steps * out_ch,
+                )
+            };
+            let ibatch = &id[b * steps * in_ch..(b + 1) * steps * in_ch];
+            for t in 0..out_steps {
+                let orow = &mut obatch[t * out_ch..(t + 1) * out_ch];
+                for k in 0..kernel {
+                    let irow = &ibatch[(t * stride + k) * in_ch..(t * stride + k + 1) * in_ch];
+                    let wslab = &wd[k * in_ch * out_ch..(k + 1) * in_ch * out_ch];
+                    for (c, &iv) in irow.iter().enumerate() {
+                        if iv == 0.0 {
+                            continue;
+                        }
+                        let wrow = &wslab[c * out_ch..(c + 1) * out_ch];
+                        for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                            *ov += iv * wv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Backward 1-D convolution: gradients w.r.t. the input and the weights.
+///
+/// * `input`:   the forward input `(batch, steps, in_ch)`
+/// * `weights`: `(kernel, in_ch, out_ch)`
+/// * `grad_out`: `(batch, out_steps, out_ch)` upstream gradient
+///
+/// Returns `(grad_input, grad_weights)`.
+pub fn conv1d_backward(
+    input: &Tensor,
+    weights: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+) -> Result<(Tensor, Tensor), TensorError> {
+    let (batch, steps, in_ch) = input.shape().as_3d();
+    let (kernel, _, out_ch) = weights.shape().as_3d();
+    let (gb, out_steps, g_out_ch) = grad_out.shape().as_3d();
+    if gb != batch
+        || g_out_ch != out_ch
+        || conv1d_output_len(steps, kernel, stride) != Some(out_steps)
+    {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().clone(),
+            right: grad_out.shape().clone(),
+        });
+    }
+    let mut grad_input = Tensor::zeros([batch, steps, in_ch]);
+    let mut grad_weights = Tensor::zeros([kernel, in_ch, out_ch]);
+    let (id, wd, gd) = (input.data(), weights.data(), grad_out.data());
+
+    // Input gradient parallelizes cleanly over batch.
+    let gi = RawBase(grad_input.data_mut().as_mut_ptr() as usize);
+    parx::parallel_for(batch, parx::default_threads(), |chunk| {
+        for b in chunk.start..chunk.end {
+            // SAFETY: batches disjoint across chunks.
+            let gibatch = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (gi.0 as *mut f32).add(b * steps * in_ch),
+                    steps * in_ch,
+                )
+            };
+            let gbatch = &gd[b * out_steps * out_ch..(b + 1) * out_steps * out_ch];
+            for t in 0..out_steps {
+                let grow = &gbatch[t * out_ch..(t + 1) * out_ch];
+                for k in 0..kernel {
+                    let girow =
+                        &mut gibatch[(t * stride + k) * in_ch..(t * stride + k + 1) * in_ch];
+                    let wslab = &wd[k * in_ch * out_ch..(k + 1) * in_ch * out_ch];
+                    for (c, gv) in girow.iter_mut().enumerate() {
+                        let wrow = &wslab[c * out_ch..(c + 1) * out_ch];
+                        let mut acc = 0.0f32;
+                        for (&g, &w) in grow.iter().zip(wrow) {
+                            acc += g * w;
+                        }
+                        *gv += acc;
+                    }
+                }
+            }
+        }
+    });
+
+    // Weight gradient accumulates over batch; done sequentially per (k,c)
+    // slab to stay deterministic regardless of thread count.
+    for b in 0..batch {
+        let ibatch = &id[b * steps * in_ch..(b + 1) * steps * in_ch];
+        let gbatch = &gd[b * out_steps * out_ch..(b + 1) * out_steps * out_ch];
+        for t in 0..out_steps {
+            let grow = &gbatch[t * out_ch..(t + 1) * out_ch];
+            for k in 0..kernel {
+                let irow = &ibatch[(t * stride + k) * in_ch..(t * stride + k + 1) * in_ch];
+                let gwslab =
+                    &mut grad_weights.data_mut()[k * in_ch * out_ch..(k + 1) * in_ch * out_ch];
+                for (c, &iv) in irow.iter().enumerate() {
+                    if iv == 0.0 {
+                        continue;
+                    }
+                    let gwrow = &mut gwslab[c * out_ch..(c + 1) * out_ch];
+                    for (gw, &g) in gwrow.iter_mut().zip(grow) {
+                        *gw += iv * g;
+                    }
+                }
+            }
+        }
+    }
+    Ok((grad_input, grad_weights))
+}
+
+/// Forward non-overlapping 1-D max pool.
+///
+/// Returns the pooled tensor `(batch, out_steps, ch)` and the flat input
+/// index of each selected maximum (for the backward pass).
+pub fn maxpool1d_forward(input: &Tensor, pool: usize) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (batch, steps, ch) = input.shape().as_3d();
+    let out_steps = pool1d_output_len(steps, pool).ok_or_else(|| TensorError::ShapeMismatch {
+        left: input.shape().clone(),
+        right: crate::Shape::from([pool]),
+    })?;
+    let mut out = Tensor::zeros([batch, out_steps, ch]);
+    let mut argmax = vec![0usize; batch * out_steps * ch];
+    let id = input.data();
+    for b in 0..batch {
+        for t in 0..out_steps {
+            for c in 0..ch {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for p in 0..pool {
+                    let idx = b * steps * ch + (t * pool + p) * ch + c;
+                    if id[idx] > best {
+                        best = id[idx];
+                        best_idx = idx;
+                    }
+                }
+                let oidx = b * out_steps * ch + t * ch + c;
+                out.data_mut()[oidx] = best;
+                argmax[oidx] = best_idx;
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Backward max pool: routes each upstream gradient to the input position
+/// that produced the maximum.
+pub fn maxpool1d_backward(
+    input_shape: &crate::Shape,
+    grad_out: &Tensor,
+    argmax: &[usize],
+) -> Result<Tensor, TensorError> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: grad_out.len(),
+            actual: argmax.len(),
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_shape.dims().to_vec());
+    for (&g, &idx) in grad_out.data().iter().zip(argmax) {
+        grad_input.data_mut()[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Shares a mutable base pointer across scoped threads for disjoint writes.
+struct RawBase(usize);
+unsafe impl Sync for RawBase {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xrng::RandomSource;
+
+    fn rand3(b: usize, s: usize, c: usize, seed: u64) -> Tensor {
+        let mut rng = xrng::seeded(seed);
+        Tensor::from_fn([b, s, c], |_| rng.next_f32() * 2.0 - 1.0)
+    }
+
+    /// Direct per-element reference convolution.
+    fn naive_conv(input: &Tensor, weights: &Tensor, stride: usize) -> Tensor {
+        let (batch, steps, in_ch) = input.shape().as_3d();
+        let (kernel, _, out_ch) = weights.shape().as_3d();
+        let out_steps = conv1d_output_len(steps, kernel, stride).unwrap();
+        Tensor::from_fn([batch, out_steps, out_ch], |flat| {
+            let o = flat % out_ch;
+            let t = (flat / out_ch) % out_steps;
+            let b = flat / (out_ch * out_steps);
+            let mut acc = 0.0;
+            for k in 0..kernel {
+                for c in 0..in_ch {
+                    let iv = input.data()[b * steps * in_ch + (t * stride + k) * in_ch + c];
+                    let wv = weights.data()[k * in_ch * out_ch + c * out_ch + o];
+                    acc += iv * wv;
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn output_len_math() {
+        assert_eq!(conv1d_output_len(10, 3, 1), Some(8));
+        assert_eq!(conv1d_output_len(10, 3, 2), Some(4));
+        assert_eq!(conv1d_output_len(2, 3, 1), None);
+        assert_eq!(conv1d_output_len(10, 0, 1), None);
+        assert_eq!(pool1d_output_len(10, 2), Some(5));
+        assert_eq!(pool1d_output_len(11, 2), Some(5));
+        assert_eq!(pool1d_output_len(1, 2), None);
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let input = rand3(2, 12, 3, 1);
+        let weights = rand3(4, 3, 5, 2); // (kernel, in, out)
+        for stride in [1, 2, 3] {
+            let fast = conv1d_forward(&input, &weights, stride).unwrap();
+            let slow = naive_conv(&input, &weights, stride);
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rejects_channel_mismatch() {
+        let input = rand3(1, 8, 3, 3);
+        let weights = rand3(2, 4, 5, 4);
+        assert!(conv1d_forward(&input, &weights, 1).is_err());
+    }
+
+    #[test]
+    fn forward_rejects_short_input() {
+        let input = rand3(1, 2, 3, 5);
+        let weights = rand3(5, 3, 2, 6);
+        assert!(conv1d_forward(&input, &weights, 1).is_err());
+    }
+
+    /// Finite-difference check of the full backward pass.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let input = rand3(2, 7, 2, 10);
+        let weights = rand3(3, 2, 3, 11);
+        let stride = 2;
+        let out = conv1d_forward(&input, &weights, stride).unwrap();
+        // Loss = sum(out); upstream gradient is all ones.
+        let grad_out = Tensor::full(out.shape().clone().dims().to_vec(), 1.0);
+        let (gi, gw) = conv1d_backward(&input, &weights, &grad_out, stride).unwrap();
+        let eps = 1e-3f32;
+        let loss =
+            |inp: &Tensor, w: &Tensor| -> f64 { conv1d_forward(inp, w, stride).unwrap().sum() };
+        // Check a sample of input coordinates.
+        for idx in [0usize, 5, 13, 20, 27] {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let num = (loss(&plus, &weights) - loss(&minus, &weights)) / (2.0 * eps as f64);
+            assert!(
+                (num - gi.data()[idx] as f64).abs() < 1e-2,
+                "input grad at {idx}: numeric {num} vs analytic {}",
+                gi.data()[idx]
+            );
+        }
+        // Check a sample of weight coordinates.
+        for idx in [0usize, 3, 7, 11, 17] {
+            let mut plus = weights.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = weights.clone();
+            minus.data_mut()[idx] -= eps;
+            let num = (loss(&input, &plus) - loss(&input, &minus)) / (2.0 * eps as f64);
+            assert!(
+                (num - gw.data()[idx] as f64).abs() < 1e-2,
+                "weight grad at {idx}: numeric {num} vs analytic {}",
+                gw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_rejects_bad_grad_shape() {
+        let input = rand3(1, 8, 2, 20);
+        let weights = rand3(3, 2, 4, 21);
+        let bad_grad = rand3(1, 99, 4, 22);
+        assert!(conv1d_backward(&input, &weights, &bad_grad, 1).is_err());
+    }
+
+    #[test]
+    fn maxpool_forward_selects_maxima() {
+        let input =
+            Tensor::from_vec([1, 4, 2], vec![1.0, -1.0, 3.0, 0.5, 2.0, 9.0, -4.0, 8.0]).unwrap();
+        let (out, argmax) = maxpool1d_forward(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[3.0, 0.5, 2.0, 9.0]);
+        assert_eq!(argmax, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient() {
+        let input = Tensor::from_vec([1, 4, 1], vec![1.0, 5.0, 2.0, 0.0]).unwrap();
+        let (out, argmax) = maxpool1d_forward(&input, 2).unwrap();
+        let grad_out =
+            Tensor::from_vec(out.shape().clone().dims().to_vec(), vec![10.0, 20.0]).unwrap();
+        let gi = maxpool1d_backward(input.shape(), &grad_out, &argmax).unwrap();
+        assert_eq!(gi.data(), &[0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_truncates_trailing_remainder() {
+        let input = Tensor::from_fn([1, 5, 1], |i| i as f32);
+        let (out, _) = maxpool1d_forward(&input, 2).unwrap();
+        // Element 4 is dropped, matching Keras valid pooling.
+        assert_eq!(out.data(), &[1.0, 3.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn pool_then_unpool_conserves_gradient_mass(
+            b in 1usize..3, s in 2usize..12, c in 1usize..4, pool in 1usize..4, seed in 0u64..100
+        ) {
+            prop_assume!(s >= pool && pool >= 1);
+            let input = rand3(b, s, c, seed);
+            let (out, argmax) = maxpool1d_forward(&input, pool).unwrap();
+            let grad = Tensor::full(out.shape().clone().dims().to_vec(), 1.0);
+            let gi = maxpool1d_backward(input.shape(), &grad, &argmax).unwrap();
+            // Gradient mass is conserved through the routing.
+            prop_assert!((gi.sum() - grad.sum()).abs() < 1e-4);
+        }
+    }
+}

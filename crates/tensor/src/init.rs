@@ -1,0 +1,104 @@
+//! Weight initializers.
+//!
+//! The CANDLE benchmarks use Keras defaults: Glorot (Xavier) uniform for
+//! dense and convolutional kernels, zeros for biases. He-normal is provided
+//! for the ReLU-heavy NT3 variant experiments.
+
+use crate::Tensor;
+use xrng::{Rng, Uniform};
+
+/// A weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// Glorot/Xavier uniform: `U(-limit, limit)`, `limit = sqrt(6/(fan_in+fan_out))`.
+    GlorotUniform,
+    /// He normal: `N(0, sqrt(2/fan_in))`.
+    HeNormal,
+}
+
+impl Initializer {
+    /// Creates a tensor of the given shape where `fan_in`/`fan_out` describe
+    /// the connectivity of the layer the weights belong to.
+    pub fn init(
+        self,
+        shape: impl Into<crate::Shape>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut Rng,
+    ) -> Tensor {
+        match self {
+            Initializer::Zeros => Tensor::zeros(shape),
+            Initializer::GlorotUniform => glorot_uniform(shape, fan_in, fan_out, rng),
+            Initializer::HeNormal => he_normal(shape, fan_in, rng),
+        }
+    }
+}
+
+/// Glorot (Xavier) uniform initialization.
+pub fn glorot_uniform(
+    shape: impl Into<crate::Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Tensor {
+    let denom = (fan_in + fan_out).max(1) as f64;
+    let limit = (6.0 / denom).sqrt();
+    let dist = Uniform::new(-limit, limit);
+    Tensor::from_fn(shape, |_| dist.sample_f32(rng))
+}
+
+/// He normal initialization (suited to ReLU activations).
+pub fn he_normal(shape: impl Into<crate::Shape>, fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let mut dist = xrng::Normal::new(0.0, std);
+    Tensor::from_fn(shape, |_| dist.sample_f32(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = xrng::seeded(1);
+        let t = glorot_uniform([100, 50], 100, 50, &mut rng);
+        let limit = (6.0f64 / 150.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&x| x.abs() <= limit));
+        // Mean near zero.
+        assert!(t.mean().abs() < limit as f64 * 0.05);
+    }
+
+    #[test]
+    fn he_normal_std_matches() {
+        let mut rng = xrng::seeded(2);
+        let t = he_normal([200, 100], 200, &mut rng);
+        let var = t.sum_squares() / t.len() as f64;
+        let expect = 2.0 / 200.0;
+        assert!((var - expect).abs() < expect * 0.2, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn zeros_initializer() {
+        let mut rng = xrng::seeded(3);
+        let t = Initializer::Zeros.init([10], 10, 10, &mut rng);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn initializers_are_seed_deterministic() {
+        let a = glorot_uniform([4, 4], 4, 4, &mut xrng::seeded(7));
+        let b = glorot_uniform([4, 4], 4, 4, &mut xrng::seeded(7));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn zero_fans_do_not_divide_by_zero() {
+        let mut rng = xrng::seeded(8);
+        let t = glorot_uniform([2, 2], 0, 0, &mut rng);
+        assert!(t.data().iter().all(|x| x.is_finite()));
+        let h = he_normal([2, 2], 0, &mut rng);
+        assert!(h.data().iter().all(|x| x.is_finite()));
+    }
+}

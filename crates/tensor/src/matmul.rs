@@ -1,0 +1,252 @@
+//! Matrix products.
+//!
+//! Three kernels cover every need of dense-layer forward and backward
+//! passes:
+//!
+//! * `matmul`    — `C = A·B`              (forward activations)
+//! * `matmul_at_b` — `C = Aᵀ·B`           (weight gradients: xᵀ·δ)
+//! * `matmul_a_bt` — `C = A·Bᵀ`           (input gradients: δ·Wᵀ)
+//!
+//! All three parallelize over output rows with `parx::parallel_for` (chunked
+//! and deterministic) and use an i-k-j loop order so the innermost loop
+//! streams both operands contiguously — the standard cache-friendly layout
+//! for row-major data that LLVM autovectorizes well.
+
+use crate::{Tensor, TensorError};
+
+/// Number of worker threads used by the matrix kernels. Tuned once at
+/// startup; matmuls in this workspace are wide enough that the default
+/// hardware parallelism is the right choice.
+fn kernel_threads() -> usize {
+    parx::default_threads()
+}
+
+/// `C = A·B` for `A: (m×k)`, `B: (k×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = a.shape().as_2d();
+    let (kb, n) = b.shape().as_2d();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = RawRows {
+        base: c.data_mut().as_mut_ptr() as usize,
+    };
+    parx::parallel_for(m, kernel_threads(), |chunk| {
+        for i in chunk.start..chunk.end {
+            // SAFETY: each output row i is written by exactly one chunk.
+            let crow =
+                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(i * n), n) };
+            let arow = &ad[i * ka..(i + 1) * ka];
+            for (l, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bd[l * n..(l + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    });
+    Ok(c)
+}
+
+/// `C = Aᵀ·B` for `A: (m×k)`, `B: (m×n)`, producing `(k×n)`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ma, k) = a.shape().as_2d();
+    let (mb, n) = b.shape().as_2d();
+    if ma != mb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+        });
+    }
+    let mut c = Tensor::zeros([k, n]);
+    let (ad, bd) = (a.data(), b.data());
+    // Parallelize over output rows (columns of A). Each output row j gathers
+    // a[i][j] * b[i][*] over all samples i.
+    let cd = RawRows {
+        base: c.data_mut().as_mut_ptr() as usize,
+    };
+    parx::parallel_for(k, kernel_threads(), |chunk| {
+        for j in chunk.start..chunk.end {
+            // SAFETY: disjoint output rows per chunk.
+            let crow =
+                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(j * n), n) };
+            for i in 0..ma {
+                let aval = ad[i * k + j];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bd[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    });
+    Ok(c)
+}
+
+/// `C = A·Bᵀ` for `A: (m×k)`, `B: (n×k)`, producing `(m×n)`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = a.shape().as_2d();
+    let (n, kb) = b.shape().as_2d();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().clone(),
+            right: b.shape().clone(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = RawRows {
+        base: c.data_mut().as_mut_ptr() as usize,
+    };
+    parx::parallel_for(m, kernel_threads(), |chunk| {
+        for i in chunk.start..chunk.end {
+            let arow = &ad[i * ka..(i + 1) * ka];
+            // SAFETY: disjoint output rows per chunk.
+            let crow =
+                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(i * n), n) };
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * ka..(j + 1) * ka];
+                // Dot product of two contiguous rows.
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        }
+    });
+    Ok(c)
+}
+
+/// Shares a mutable base pointer across scoped threads for disjoint-row
+/// writes.
+struct RawRows {
+    base: usize,
+}
+unsafe impl Sync for RawRows {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xrng::RandomSource;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_2d();
+        let (_, n) = b.shape().as_2d();
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a.at2(i, l) * b.at2(l, j);
+                }
+                *c.at2_mut(i, j) = acc;
+            }
+        }
+        c
+    }
+
+    fn transpose(t: &Tensor) -> Tensor {
+        let (r, c) = t.shape().as_2d();
+        Tensor::from_fn([c, r], |i| t.at2(i % r, i / r))
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = xrng::seeded(seed);
+        Tensor::from_fn([rows, cols], |_| rng.next_f32() * 2.0 - 1.0)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = random_tensor(5, 5, 1);
+        let eye = Tensor::from_fn([5, 5], |i| if i / 5 == i % 5 { 1.0 } else { 0.0 });
+        assert_close(&matmul(&a, &eye).unwrap(), &a, 1e-6);
+        assert_close(&matmul(&eye, &a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = random_tensor(7, 11, 2);
+        let b = random_tensor(11, 5, 3);
+        assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = random_tensor(3, 4, 4);
+        let b = random_tensor(5, 6, 5);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = random_tensor(9, 4, 6);
+        let b = random_tensor(9, 7, 7);
+        let expect = naive_matmul(&transpose(&a), &b);
+        assert_close(&matmul_at_b(&a, &b).unwrap(), &expect, 1e-4);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = random_tensor(6, 8, 8);
+        let b = random_tensor(5, 8, 9);
+        let expect = naive_matmul(&a, &transpose(&b));
+        assert_close(&matmul_a_bt(&a, &b).unwrap(), &expect, 1e-4);
+    }
+
+    #[test]
+    fn large_matmul_uses_parallel_path() {
+        // 512 rows exceeds the sequential threshold with default threads.
+        let a = random_tensor(512, 64, 10);
+        let b = random_tensor(64, 32, 11);
+        let got = matmul(&a, &b).unwrap();
+        let expect = naive_matmul(&a, &b);
+        assert_close(&got, &expect, 1e-3);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Tensor::from_vec([1, 1], vec![3.0]).unwrap();
+        let b = Tensor::from_vec([1, 1], vec![4.0]).unwrap();
+        assert_eq!(matmul(&a, &b).unwrap().data(), &[12.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn all_kernels_consistent(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+            let a = random_tensor(m, k, seed);
+            let b = random_tensor(k, n, seed ^ 0xFFFF);
+            let c = matmul(&a, &b).unwrap();
+            // (A·B) == ((Aᵀ)ᵀ·B) via matmul_at_b with transposed A.
+            let c2 = matmul_at_b(&transpose(&a), &b).unwrap();
+            // (A·B) == A·(Bᵀ)ᵀ via matmul_a_bt with transposed B.
+            let c3 = matmul_a_bt(&a, &transpose(&b)).unwrap();
+            for ((x, y), z) in c.data().iter().zip(c2.data()).zip(c3.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+                prop_assert!((x - z).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Tensor shapes and row-major index math.
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Rank 0 (scalar) through rank 3 are used in the workspace; the type
+/// supports any rank.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides: the flat-index step for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Interprets the shape as `(rows, cols)`.
+    ///
+    /// # Panics
+    /// Panics unless the rank is exactly 2.
+    pub fn as_2d(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {self}");
+        (self.dims[0], self.dims[1])
+    }
+
+    /// Interprets the shape as `(batch, steps, channels)`.
+    ///
+    /// # Panics
+    /// Panics unless the rank is exactly 3.
+    pub fn as_3d(&self) -> (usize, usize, usize) {
+        assert_eq!(self.rank(), 3, "expected rank-3 shape, got {self}");
+        (self.dims[0], self.dims[1], self.dims[2])
+    }
+
+    /// Flat row-major index of a multi-index.
+    ///
+    /// # Panics
+    /// Panics if the multi-index rank or any coordinate is out of range.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut flat = 0;
+        for ((&i, &d), s) in idx.iter().zip(&self.dims).zip(self.strides()) {
+            assert!(i < d, "coordinate {i} out of extent {d}");
+            flat += i * s;
+        }
+        flat
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(dim: usize) -> Self {
+        Shape::new(vec![dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(Shape::new(vec![]).volume(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert_eq!(Shape::new(vec![]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_index_matches_manual() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.flat_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+        assert_eq!(s.flat_index(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn flat_index_bounds_checked() {
+        Shape::from([2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn as_2d_and_3d() {
+        assert_eq!(Shape::from([3, 5]).as_2d(), (3, 5));
+        assert_eq!(Shape::from([2, 3, 4]).as_3d(), (2, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected rank-2")]
+    fn as_2d_wrong_rank_panics() {
+        Shape::from([2, 3, 4]).as_2d();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "(2×3)");
+    }
+
+    proptest! {
+        #[test]
+        fn flat_index_is_bijective(dims in proptest::collection::vec(1usize..6, 1..4)) {
+            let s = Shape::new(dims.clone());
+            let strides = s.strides();
+            // Decompose every flat index into a multi-index and check that
+            // flat_index inverts the decomposition.
+            for flat in 0..s.volume() {
+                let mut rem = flat;
+                let idx: Vec<usize> = strides.iter().map(|&st| {
+                    let coord = rem / st;
+                    rem %= st;
+                    coord
+                }).collect();
+                prop_assert_eq!(s.flat_index(&idx), flat);
+            }
+        }
+    }
+}

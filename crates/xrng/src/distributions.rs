@@ -1,0 +1,190 @@
+//! Sampling distributions used across the workspace.
+//!
+//! `Uniform` backs weight initializers and synthetic feature generation,
+//! `Normal` (Box–Muller) backs Gaussian feature noise and Glorot-normal
+//! initialization, and `Bernoulli` backs dropout masks and label flips.
+
+use crate::RandomSource;
+
+/// Uniform distribution over a half-open interval `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high` or either bound is non-finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+        assert!(
+            low < high,
+            "Uniform requires low < high (got {low} >= {high})"
+        );
+        Self {
+            low,
+            span: high - low,
+        }
+    }
+
+    /// Samples one value.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> f64 {
+        self.low + self.span * rng.next_f64()
+    }
+
+    /// Samples one value as `f32`.
+    pub fn sample_f32<R: RandomSource>(&self, rng: &mut R) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+/// Normal (Gaussian) distribution sampled with the Box–Muller transform.
+///
+/// The pair produced by each transform is cached, so consecutive calls
+/// consume one uniform pair per two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    cached: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be >= 0"
+        );
+        Self {
+            mean,
+            std_dev,
+            cached: None,
+        }
+    }
+
+    /// Samples one value.
+    pub fn sample<R: RandomSource>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Box–Muller: u1 in (0,1] to keep ln finite.
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let (sin_t, cos_t) = theta.sin_cos();
+        self.cached = Some(r * sin_t);
+        self.mean + self.std_dev * r * cos_t
+    }
+
+    /// Samples one value as `f32`.
+    pub fn sample_f32<R: RandomSource>(&mut self, rng: &mut R) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+/// Bernoulli distribution over `{true, false}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1] (got {p})");
+        Self { p }
+    }
+
+    /// Samples one draw.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Uniform::new(-2.5, 7.0);
+        let mut rng = seeded(11);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.5..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn uniform_rejects_inverted_bounds() {
+        Uniform::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut d = Normal::new(3.0, 2.0);
+        let mut rng = seeded(12);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var = {var}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut d = Normal::new(5.0, 0.0);
+        let mut rng = seeded(13);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev must be >= 0")]
+    fn normal_rejects_negative_std() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let d = Bernoulli::new(0.3);
+        let mut rng = seeded(14);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = seeded(15);
+        let never = Bernoulli::new(0.0);
+        let always = Bernoulli::new(1.0);
+        for _ in 0..1000 {
+            assert!(!never.sample(&mut rng));
+            assert!(always.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn bernoulli_rejects_out_of_range() {
+        Bernoulli::new(1.5);
+    }
+}

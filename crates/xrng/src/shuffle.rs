@@ -1,0 +1,73 @@
+//! Fisher–Yates shuffling.
+//!
+//! Shuffling appears in two places in the reproduction: per-epoch sample
+//! reordering inside the training loop, and deterministic train/test splits
+//! in the synthetic dataset generators.
+
+use crate::RandomSource;
+
+/// Shuffles a slice in place with the Fisher–Yates algorithm.
+///
+/// Uses the unbiased `next_below` bound sampling, so every permutation is
+/// equally likely given a uniform source.
+pub fn shuffle<T, R: RandomSource>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.next_index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(21);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_empty_and_single() {
+        let mut rng = seeded(22);
+        let mut empty: Vec<u32> = vec![];
+        shuffle(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+        let mut one = vec![7];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        shuffle(&mut a, &mut seeded(33));
+        shuffle(&mut b, &mut seeded(33));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_uniformity_three_elements() {
+        // All 6 permutations of 3 elements should appear ~equally often.
+        let mut rng = seeded(44);
+        let mut counts = std::collections::HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            let mut v = [0u8, 1, 2];
+            shuffle(&mut v, &mut rng);
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        let expected = n as f64 / 6.0;
+        for (&perm, &c) in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "perm {perm:?} frequency off by {dev}");
+        }
+    }
+}

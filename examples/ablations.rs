@@ -1,0 +1,14 @@
+//! Ablation and projection studies beyond the paper's figures:
+//! the planned NCCL 2.4 upgrade (paper §7), hierarchical vs flat
+//! allreduce, measured collective algorithms, and tensor fusion on/off.
+//!
+//! ```text
+//! cargo run --release --example ablations
+//! ```
+
+fn main() {
+    for experiment in experiments::ablations() {
+        println!("{experiment}");
+        println!();
+    }
+}

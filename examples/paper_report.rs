@@ -1,0 +1,18 @@
+//! Regenerates every table and figure of the paper and prints the full
+//! report.
+//!
+//! ```text
+//! cargo run --release --example paper_report          # quick mode
+//! cargo run --release --example paper_report -- full  # full epoch budgets
+//! ```
+
+fn main() {
+    let quick = std::env::args().nth(1).as_deref() != Some("full");
+    if quick {
+        println!("(quick mode; pass `full` for the full functional epoch budgets)\n");
+    }
+    for experiment in experiments::all(quick) {
+        println!("{experiment}");
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Strong-scaling study (paper §4, Figures 6/8/9): sweep the worker count
+//! with a fixed total epoch budget on Summit, in both planes.
+//!
+//! ```text
+//! cargo run --release --example strong_scaling [NT3|P1B1|P1B2]
+//! ```
+
+use candle::HyperParams;
+use cluster::calib::Bench;
+use cluster::run::simulate;
+use cluster::{LoadMethod, Machine, RunConfig, ScalingMode};
+use experiments::accuracy_sweep;
+
+fn main() {
+    let bench = match std::env::args().nth(1).as_deref() {
+        Some("P1B1") | Some("p1b1") => Bench::P1b1,
+        Some("P1B2") | Some("p1b2") => Bench::P1b2,
+        _ => Bench::Nt3,
+    };
+    let hp = HyperParams::of(bench);
+    println!(
+        "{} strong scaling on Summit (total {} epochs, batch {})\n",
+        bench.name(),
+        hp.epochs,
+        hp.batch_size
+    );
+
+    println!("performance plane (calibrated Summit model):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "GPUs", "load (s)", "bcast (s)", "train (s)", "total (s)", "t/epoch"
+    );
+    for gpus in [1usize, 6, 12, 24, 48, 96, 192, 384] {
+        let cfg = RunConfig {
+            machine: Machine::Summit,
+            workers: gpus,
+            batch_size: hp.batch_size,
+            scaling: ScalingMode::Strong,
+            load_method: LoadMethod::PandasDefault,
+        };
+        match simulate(&hp.workload(), &cfg) {
+            Ok(r) => println!(
+                "{gpus:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10.1}",
+                r.data_load_s, r.broadcast_s, r.train_s, r.total_s, r.time_per_epoch_s
+            ),
+            Err(e) => println!("{gpus:>6} {e}"),
+        }
+    }
+
+    println!("\nfunctional plane (real training, scaled budget of 16 epochs):");
+    println!(
+        "{:>8} {:>14} {:>10} {:>10}",
+        "workers", "epochs/worker", "train acc", "test acc"
+    );
+    for p in accuracy_sweep(bench, 16, &[1, 2, 4, 8, 16], hp.batch_size.min(30), 7) {
+        println!(
+            "{:>8} {:>14} {:>10} {:>10.3}",
+            p.workers,
+            p.epochs_per_worker,
+            p.train_accuracy
+                .map_or("-".to_string(), |a| format!("{a:.3}")),
+            p.test_accuracy
+        );
+    }
+}

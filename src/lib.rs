@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the CANDLE reproduction workspace.
+pub use candle;
+pub use cluster;
+pub use collectives;
+pub use dataio;
+pub use dlframe;
+pub use experiments;
+pub use simcore;
+pub use tensor;
+pub use xrng;
