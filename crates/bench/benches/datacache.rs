@@ -1,0 +1,104 @@
+//! Benchmarks of the dataset cache: cold build vs warm shard reload vs
+//! re-parsing the CSV, plus the prefetcher's overlapped decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacache::{CacheStore, Prefetcher};
+use dataio::{generate, read_csv, write_csv_dataset, ClassSpec, ReadStrategy, SyntheticSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Fixture {
+    csv: PathBuf,
+    cache_root: PathBuf,
+    bytes: u64,
+}
+
+fn fixture() -> Fixture {
+    let dir = std::env::temp_dir().join("candle_repro_bench_datacache");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let csv = dir.join("wide.csv");
+    let spec = SyntheticSpec {
+        rows: 160,
+        cols: 4_000,
+        kind: ClassSpec::Classification {
+            classes: 2,
+            separation: 1.0,
+        },
+        noise: 0.5,
+        seed: 31,
+    };
+    let bytes = write_csv_dataset(&csv, &generate(&spec)).expect("write");
+    Fixture {
+        csv,
+        cache_root: dir.join("cache"),
+        bytes,
+    }
+}
+
+fn cache_vs_parse(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("datacache");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(fx.bytes));
+
+    group.bench_function("csv_parse_pandas_default", |b| {
+        b.iter(|| {
+            std::hint::black_box(read_csv(&fx.csv, ReadStrategy::PandasDefault).expect("parse"))
+        })
+    });
+    group.bench_function("csv_parse_chunked", |b| {
+        b.iter(|| {
+            std::hint::black_box(read_csv(&fx.csv, ReadStrategy::ChunkedLowMemory).expect("parse"))
+        })
+    });
+    group.bench_function("cold_build", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&fx.cache_root).ok();
+            let store = CacheStore::new(&fx.cache_root).expect("store");
+            std::hint::black_box(
+                store
+                    .open_csv(&fx.csv, ReadStrategy::ChunkedLowMemory, 4)
+                    .expect("cold"),
+            )
+        })
+    });
+
+    // Ensure a warm cache exists, then measure the warm paths.
+    let store = CacheStore::new(&fx.cache_root).expect("store");
+    let (ds, _) = store
+        .open_csv(&fx.csv, ReadStrategy::ChunkedLowMemory, 4)
+        .expect("build");
+    let ds = Arc::new(ds);
+    group.bench_function("warm_load_all", |b| {
+        let store = CacheStore::new(&fx.cache_root).expect("store");
+        b.iter(|| {
+            let (ds, outcome) = store
+                .open_csv(&fx.csv, ReadStrategy::ChunkedLowMemory, 4)
+                .expect("warm");
+            assert!(outcome.is_warm());
+            std::hint::black_box(ds.load_all().expect("load"))
+        })
+    });
+    for nranks in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("warm_prefetch_rank0", format!("{nranks}ranks")),
+            &nranks,
+            |b, &n| {
+                b.iter(|| {
+                    let pf = Prefetcher::for_rank(Arc::clone(&ds), 0, n);
+                    let mut rows = 0usize;
+                    for item in pf {
+                        rows += item.expect("shard").frame.nrows();
+                    }
+                    std::hint::black_box(rows)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_vs_parse);
+criterion_main!(benches);

@@ -20,6 +20,7 @@ fn epoch_spec(bench: Bench, workers: usize) -> ParallelRunSpec {
         seed: 77,
         record_timeline: false,
         data_mode: candle::pipeline::DataMode::FullReplicated,
+        cache: None,
     }
 }
 

@@ -1,0 +1,278 @@
+//! Binary dataset caching for the training pipeline.
+//!
+//! The paper's headline profile result is that data loading dominates the
+//! CANDLE benchmarks' wall-clock; [`datacache`] removes the repeated cost by
+//! persisting the generated/parsed dataset as checksummed binary shards. This
+//! module is the glue: it packs a benchmark's train+test [`Dataset`] pair
+//! into one [`dataio::Frame`], keys the cache by the benchmark geometry and
+//! seed, and reconstructs the pair — optionally through the background
+//! [`Prefetcher`] so shard decode overlaps with consumption.
+
+use crate::dataset::{benchmark_dataset, BenchDataKind};
+use datacache::format::fnv1a64;
+use datacache::{CacheError, CacheOutcome, CacheStore, PrefetchStats, Prefetcher};
+use dataio::{Column, Frame};
+use dlframe::Dataset;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+/// Where and how the pipeline caches its datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Cache root directory (one subdirectory per dataset key).
+    pub root: PathBuf,
+    /// Shards to split the dataset into (clamped to at least 1).
+    pub shards: usize,
+    /// Load warm shards through the background [`Prefetcher`] instead of
+    /// sequentially, reporting hit/wait counters in the phase profile.
+    pub prefetch: bool,
+}
+
+/// How the data phase was actually served, with the timings the pipeline
+/// attributes to its phase profile.
+#[derive(Debug, Clone)]
+pub enum DataPhase {
+    /// Cold: the dataset was generated and the shards written.
+    Cold {
+        /// Time generating the source dataset (the `data_loading` phase).
+        generate: Duration,
+        /// Time encoding and writing shards plus the manifest.
+        encode_write: Duration,
+        /// Time decoding the freshly written shards back.
+        decode: Duration,
+    },
+    /// Warm: the dataset came from existing shards.
+    Warm {
+        /// Manifest validation plus shard decode time (the `cache_load`
+        /// phase).
+        load: Duration,
+        /// Prefetcher counters, when prefetching was enabled.
+        prefetch: Option<PrefetchStats>,
+    },
+}
+
+impl DataPhase {
+    /// True when the data came from an existing cache.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, DataPhase::Warm { .. })
+    }
+}
+
+/// The cache key for one benchmark dataset: every field of the geometry
+/// plus the seed participates, so any change is a rebuild.
+pub fn dataset_key(kind: &BenchDataKind, seed: u64) -> (u64, String) {
+    let desc = format!(
+        "candle:{:?}:features={}:train={}:test={}:seed={}",
+        kind.bench, kind.features, kind.train_rows, kind.test_rows, seed
+    );
+    (fnv1a64(desc.as_bytes()), desc)
+}
+
+/// Loads (warm) or generates-and-caches (cold) the train/test pair for a
+/// benchmark, mirroring [`benchmark_dataset`] exactly: the unpacked warm
+/// tensors are bit-identical to a fresh generation because f32 values
+/// round-trip losslessly through the shard format's f64 columns.
+pub fn load_benchmark_dataset(
+    kind: &BenchDataKind,
+    seed: u64,
+    cache: &CacheSpec,
+) -> Result<(Dataset, Dataset, DataPhase), CacheError> {
+    let (key, desc) = dataset_key(kind, seed);
+    let store = CacheStore::new(&cache.root)?;
+    let mut generate_time = Duration::ZERO;
+    let (ds, outcome) = store.open_or_build(
+        key,
+        &desc,
+        &format!("train_rows={};features={}", kind.train_rows, kind.features),
+        cache.shards.max(1),
+        || {
+            let start = Instant::now();
+            let (train, test) = benchmark_dataset(kind, seed);
+            generate_time = start.elapsed();
+            Ok(pack_pair(&train, &test))
+        },
+    )?;
+
+    let decode_start = Instant::now();
+    let ds = Arc::new(ds);
+    let (frame, stats) = if cache.prefetch {
+        let mut pf = Prefetcher::all(Arc::clone(&ds));
+        let mut frames = Vec::with_capacity(pf.len_total());
+        for item in pf.by_ref() {
+            frames.push(item?.frame);
+        }
+        let stats = pf.stats();
+        (Frame::concat(frames)?, Some(stats))
+    } else {
+        (ds.load_all()?, None)
+    };
+    let decode = decode_start.elapsed();
+    let (train, test) = unpack_pair(&frame, kind)?;
+
+    let phase = match outcome {
+        CacheOutcome::ColdBuilt { encode_write, .. } => DataPhase::Cold {
+            generate: generate_time,
+            encode_write,
+            decode,
+        },
+        CacheOutcome::WarmHit { manifest_load } => DataPhase::Warm {
+            load: manifest_load + decode,
+            prefetch: stats,
+        },
+    };
+    Ok((train, test, phase))
+}
+
+/// Packs train+test into one frame: train rows first, then test rows;
+/// feature columns first, then target columns. All columns are `Float64`
+/// (f32 → f64 is exact, so the round trip is bit-identical).
+fn pack_pair(train: &Dataset, test: &Dataset) -> Frame {
+    let features = train.x().shape().dims()[1];
+    let ycols = train.y().shape().dims()[1];
+    let train_rows = train.x().shape().dims()[0];
+    let test_rows = test.x().shape().dims()[0];
+    let mut columns = Vec::with_capacity(features + ycols);
+    let column = |get: &dyn Fn(usize) -> f32| -> Column {
+        let mut v = Vec::with_capacity(train_rows + test_rows);
+        for r in 0..train_rows + test_rows {
+            v.push(get(r) as f64);
+        }
+        Column::Float64(v)
+    };
+    let pick = |a: &[f32], b: &[f32], width: usize, c: usize, r: usize| {
+        if r < train_rows {
+            a[r * width + c]
+        } else {
+            b[(r - train_rows) * width + c]
+        }
+    };
+    for c in 0..features {
+        columns.push(column(&|r| {
+            pick(train.x().data(), test.x().data(), features, c, r)
+        }));
+    }
+    for c in 0..ycols {
+        columns.push(column(&|r| {
+            pick(train.y().data(), test.y().data(), ycols, c, r)
+        }));
+    }
+    Frame::new(columns).expect("packed columns share a length")
+}
+
+/// Inverse of [`pack_pair`], validated against the expected geometry.
+fn unpack_pair(frame: &Frame, kind: &BenchDataKind) -> Result<(Dataset, Dataset), CacheError> {
+    let rows = kind.train_rows + kind.test_rows;
+    if frame.nrows() != rows || frame.ncols() <= kind.features {
+        return Err(CacheError::Corrupt(format!(
+            "cached frame is {}x{}, expected {} rows and more than {} columns",
+            frame.nrows(),
+            frame.ncols(),
+            rows,
+            kind.features
+        )));
+    }
+    let ycols = frame.ncols() - kind.features;
+    let slice = |row0: usize, nrows: usize, col0: usize, ncols: usize| {
+        let mut v = Vec::with_capacity(nrows * ncols);
+        for r in row0..row0 + nrows {
+            for c in col0..col0 + ncols {
+                v.push(frame.columns()[c].f32_at(r));
+            }
+        }
+        Tensor::from_vec([nrows, ncols], v).expect("slice length matches shape")
+    };
+    let train = Dataset::new(
+        slice(0, kind.train_rows, 0, kind.features),
+        slice(0, kind.train_rows, kind.features, ycols),
+    );
+    let test = Dataset::new(
+        slice(kind.train_rows, kind.test_rows, 0, kind.features),
+        slice(kind.train_rows, kind.test_rows, kind.features, ycols),
+    );
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::calib::Bench;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("candle_cache_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec(bench: Bench) -> CacheSpec {
+        CacheSpec {
+            root: tmp(&format!("{bench:?}")),
+            shards: 3,
+            prefetch: true,
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_bit_exactly() {
+        let kind = BenchDataKind::tiny(Bench::Nt3);
+        let (train, test) = benchmark_dataset(&kind, 7);
+        let frame = pack_pair(&train, &test);
+        let (t2, e2) = unpack_pair(&frame, &kind).unwrap();
+        assert_eq!(train.x().data(), t2.x().data());
+        assert_eq!(train.y().data(), t2.y().data());
+        assert_eq!(test.x().data(), e2.x().data());
+        assert_eq!(test.y().data(), e2.y().data());
+    }
+
+    #[test]
+    fn cold_then_warm_is_identical() {
+        let kind = BenchDataKind::tiny(Bench::P1b2);
+        let cache = spec(Bench::P1b2);
+        let (t1, e1, p1) = load_benchmark_dataset(&kind, 11, &cache).unwrap();
+        assert!(!p1.is_warm());
+        let (t2, e2, p2) = load_benchmark_dataset(&kind, 11, &cache).unwrap();
+        assert!(p2.is_warm());
+        assert_eq!(t1.x().data(), t2.x().data());
+        assert_eq!(t1.y().data(), t2.y().data());
+        assert_eq!(e1.x().data(), e2.x().data());
+        assert_eq!(e1.y().data(), e2.y().data());
+        if let DataPhase::Warm { prefetch, .. } = p2 {
+            let stats = prefetch.expect("prefetch enabled");
+            assert_eq!(stats.decoded, 3);
+            assert_eq!(stats.ready_hits + stats.waits, 3);
+        }
+        std::fs::remove_dir_all(&cache.root).ok();
+    }
+
+    #[test]
+    fn warm_matches_fresh_generation() {
+        let kind = BenchDataKind::tiny(Bench::P1b3);
+        let cache = CacheSpec {
+            prefetch: false,
+            ..spec(Bench::P1b3)
+        };
+        load_benchmark_dataset(&kind, 5, &cache).unwrap();
+        let (train, test, phase) = load_benchmark_dataset(&kind, 5, &cache).unwrap();
+        assert!(phase.is_warm());
+        let (ft, fe) = benchmark_dataset(&kind, 5);
+        assert_eq!(train.x().data(), ft.x().data());
+        assert_eq!(train.y().data(), ft.y().data());
+        assert_eq!(test.x().data(), fe.x().data());
+        assert_eq!(test.y().data(), fe.y().data());
+        std::fs::remove_dir_all(&cache.root).ok();
+    }
+
+    #[test]
+    fn different_seed_or_geometry_changes_key() {
+        let kind = BenchDataKind::tiny(Bench::Nt3);
+        let (k1, _) = dataset_key(&kind, 1);
+        let (k2, _) = dataset_key(&kind, 2);
+        assert_ne!(k1, k2);
+        let mut wider = kind;
+        wider.features += 1;
+        let (k3, _) = dataset_key(&wider, 1);
+        assert_ne!(k1, k3);
+    }
+}

@@ -22,6 +22,7 @@
 //!   averaging and rank-0 weight broadcast, exactly the Horovod recipe of
 //!   paper §2.3.
 
+pub mod cache;
 pub mod dataset;
 pub mod models;
 pub mod params;
@@ -29,6 +30,7 @@ pub mod pipeline;
 pub mod profiler;
 pub mod scaling;
 
+pub use cache::{dataset_key, load_benchmark_dataset, CacheSpec, DataPhase};
 pub use dataset::{benchmark_dataset, BenchDataKind};
 pub use models::build_model;
 pub use params::{BenchId, HyperParams};

@@ -16,6 +16,7 @@
 //! 9b, 10b, and Table 6 report. Wall-clock at Summit scale comes from the
 //! `cluster` simulator instead.
 
+use crate::cache::{load_benchmark_dataset, CacheSpec, DataPhase};
 use crate::dataset::{benchmark_dataset, BenchDataKind};
 use crate::models::build_model;
 use crate::params::BenchId;
@@ -77,6 +78,10 @@ pub struct ParallelRunSpec {
     pub record_timeline: bool,
     /// Data distribution across workers.
     pub data_mode: DataMode,
+    /// Optional binary dataset cache: when set, the data phase serves warm
+    /// runs from checksummed shards (`cache_load` in the phase profile)
+    /// instead of regenerating (`data_loading`).
+    pub cache: Option<CacheSpec>,
 }
 
 /// Results of a functional parallel run.
@@ -122,6 +127,8 @@ pub enum PipelineError {
     },
     /// A training error from `dlframe`.
     Train(String),
+    /// The dataset cache could not be built or read.
+    Cache(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -134,6 +141,7 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "{total_epochs} epochs cannot feed {workers} workers")
             }
             PipelineError::Train(msg) => write!(f, "training failed: {msg}"),
+            PipelineError::Cache(msg) => write!(f, "dataset cache failed: {msg}"),
         }
     }
 }
@@ -156,9 +164,45 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
         FuncScaling::Weak { epochs_per_worker } => epochs_per_worker,
     };
     let mut profile = PhaseProfiler::new();
-    let data_gen_start = Instant::now();
-    let (full_train, test) = benchmark_dataset(&spec.data, spec.seed);
-    profile.record("data_loading", data_gen_start.elapsed());
+    let (full_train, test) = match &spec.cache {
+        None => {
+            let data_gen_start = Instant::now();
+            let pair = benchmark_dataset(&spec.data, spec.seed);
+            profile.record("data_loading", data_gen_start.elapsed());
+            pair
+        }
+        Some(cache) => {
+            let (train, test, phase) = load_benchmark_dataset(&spec.data, spec.seed, cache)
+                .map_err(|e| PipelineError::Cache(e.to_string()))?;
+            match phase {
+                DataPhase::Cold {
+                    generate,
+                    encode_write,
+                    decode,
+                } => {
+                    profile.record("data_loading", generate);
+                    profile.record("cache_build", encode_write);
+                    profile.record("cache_load", decode);
+                }
+                DataPhase::Warm { load, prefetch } => {
+                    profile.record("cache_load", load);
+                    if let Some(stats) = prefetch {
+                        profile.record_n(
+                            "prefetch_wait",
+                            stats.wait_time(),
+                            stats.waits as u64,
+                        );
+                        profile.record_n(
+                            "prefetch_ready",
+                            std::time::Duration::ZERO,
+                            stats.ready_hits as u64,
+                        );
+                    }
+                }
+            }
+            (train, test)
+        }
+    };
     let test_target_variance = {
         let y = test.y().data();
         let mean = y.iter().map(|&v| v as f64).sum::<f64>() / y.len().max(1) as f64;
@@ -291,6 +335,7 @@ mod tests {
             seed: 42,
             record_timeline: false,
             data_mode: DataMode::FullReplicated,
+            cache: None,
         }
     }
 
@@ -405,6 +450,57 @@ mod tests {
         let s = run_parallel(&sharded).unwrap();
         // Sharded workers see a third of the data per epoch.
         assert!(s.comm_stats.allreduce_calls < r.comm_stats.allreduce_calls);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_and_reports_cache_phases() {
+        let root = std::env::temp_dir()
+            .join(format!("candle_pipe_cache_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut s = spec(Bench::Nt3, 2, 4);
+        s.cache = Some(CacheSpec {
+            root: root.clone(),
+            shards: 3,
+            prefetch: true,
+        });
+        let cold = run_parallel(&s).unwrap();
+        let phases = |o: &ParallelRunOutcome| {
+            o.profile
+                .records()
+                .iter()
+                .map(|r| r.name.clone())
+                .collect::<Vec<_>>()
+        };
+        let cold_phases = phases(&cold);
+        assert!(cold_phases.iter().any(|n| n == "data_loading"));
+        assert!(cold_phases.iter().any(|n| n == "cache_build"));
+
+        let warm = run_parallel(&s).unwrap();
+        let warm_phases = phases(&warm);
+        assert!(warm_phases.iter().any(|n| n == "cache_load"));
+        assert!(
+            !warm_phases.iter().any(|n| n == "data_loading"),
+            "warm run must not regenerate: {warm_phases:?}"
+        );
+        // Prefetch counters surface in the profile (wait + ready cover
+        // every shard).
+        let count = |name: &str| {
+            warm.profile
+                .records()
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.calls)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("prefetch_wait") + count("prefetch_ready"), 3);
+
+        // The cached data is bit-identical to fresh generation, so all
+        // three runs train identically.
+        let plain = run_parallel(&spec(Bench::Nt3, 2, 4)).unwrap();
+        assert_eq!(cold.train_loss, plain.train_loss);
+        assert_eq!(warm.train_loss, plain.train_loss);
+        assert_eq!(warm.test_accuracy, plain.test_accuracy);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

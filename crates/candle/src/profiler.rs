@@ -61,6 +61,21 @@ impl PhaseProfiler {
         }
     }
 
+    /// Adds an externally measured span that stands for `calls` entries
+    /// (e.g. a prefetcher's total blocked time across its waits).
+    pub fn record_n(&mut self, name: &str, elapsed: Duration, calls: u64) {
+        if let Some(r) = self.records.iter_mut().find(|r| r.name == name) {
+            r.elapsed += elapsed;
+            r.calls += calls;
+        } else {
+            self.records.push(PhaseRecord {
+                name: name.to_string(),
+                elapsed,
+                calls,
+            });
+        }
+    }
+
     /// All phase records, in first-seen order.
     pub fn records(&self) -> &[PhaseRecord] {
         &self.records
@@ -80,7 +95,7 @@ impl PhaseProfiler {
     pub fn report(&self) -> String {
         let total = self.total().as_secs_f64().max(1e-12);
         let mut sorted: Vec<&PhaseRecord> = self.records.iter().collect();
-        sorted.sort_by(|a, b| b.elapsed.cmp(&a.elapsed));
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.elapsed));
         let mut out = format!("{:<20} {:>10} {:>8} {:>7}\n", "phase", "cumtime", "calls", "share");
         out.push_str(&"-".repeat(48));
         out.push('\n');
@@ -131,6 +146,15 @@ mod tests {
         let training_pos = report.find("training").unwrap();
         assert!(loading_pos < training_pos, "dominant phase listed first");
         assert!(report.contains("80.0%"));
+    }
+
+    #[test]
+    fn record_n_accumulates_calls() {
+        let mut p = PhaseProfiler::new();
+        p.record_n("prefetch_wait", Duration::from_millis(3), 4);
+        p.record_n("prefetch_wait", Duration::from_millis(1), 2);
+        assert_eq!(p.records()[0].calls, 6);
+        assert_eq!(p.records()[0].elapsed, Duration::from_millis(4));
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum LoadMethod {
     ChunkedLowMemoryFalse,
     /// Dask DataFrame parallel read.
     Dask,
+    /// Warm read of the `datacache` binary shard cache: the CSV was parsed
+    /// once in an earlier run, and every rank now streams its checksummed
+    /// shards directly.
+    BinaryCache,
 }
 
 impl LoadMethod {
@@ -30,6 +34,19 @@ impl LoadMethod {
             LoadMethod::PandasDefault => "pandas.read_csv (original)",
             LoadMethod::ChunkedLowMemoryFalse => "chunks + low_memory=False",
             LoadMethod::Dask => "Dask DataFrame",
+            LoadMethod::BinaryCache => "binary shard cache (warm)",
+        }
+    }
+
+    /// Fraction of the machine's I/O contention coefficient this method
+    /// experiences. CSV parsing issues many small reads that hammer the
+    /// metadata servers; the shard cache issues a handful of large
+    /// sequential reads per rank, so it sees only a quarter of the
+    /// filesystem contention.
+    pub fn contention_fraction(self) -> f64 {
+        match self {
+            LoadMethod::BinaryCache => 0.25,
+            _ => 1.0,
         }
     }
 }
@@ -42,6 +59,14 @@ pub fn contention_factor(machine: Machine, nodes: usize) -> f64 {
     1.0 + gamma * (nodes as f64).log2()
 }
 
+/// Method-aware contention: the shard cache's large sequential reads see
+/// a reduced γ (see [`LoadMethod::contention_fraction`]).
+pub fn contention_factor_for(machine: Machine, nodes: usize, method: LoadMethod) -> f64 {
+    assert!(nodes > 0, "node count must be positive");
+    let gamma = machine.spec().io_contention_per_log2_nodes * method.contention_fraction();
+    1.0 + gamma * (nodes as f64).log2()
+}
+
 /// Modelled wall-clock seconds to load one benchmark file with `method`
 /// while `nodes` nodes contend for the filesystem.
 pub fn load_seconds(
@@ -51,7 +76,8 @@ pub fn load_seconds(
     method: LoadMethod,
     nodes: usize,
 ) -> f64 {
-    calib::load_base_seconds(machine, bench, split, method) * contention_factor(machine, nodes)
+    calib::load_base_seconds(machine, bench, split, method)
+        * contention_factor_for(machine, nodes, method)
 }
 
 /// Total data-loading phase: training file + testing file.
@@ -104,6 +130,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn warm_cache_beats_every_parse_method() {
+        for m in [Machine::Summit, Machine::Theta] {
+            for b in Bench::ALL {
+                for nodes in [1usize, 8, 64, 512] {
+                    let cache = total_load_seconds(m, b, LoadMethod::BinaryCache, nodes);
+                    for method in [
+                        LoadMethod::PandasDefault,
+                        LoadMethod::ChunkedLowMemoryFalse,
+                        LoadMethod::Dask,
+                    ] {
+                        let parse = total_load_seconds(m, b, method, nodes);
+                        assert!(cache < parse, "{m:?} {b:?} {nodes} {method:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_sees_reduced_contention() {
+        let parse = contention_factor_for(Machine::Theta, 384, LoadMethod::PandasDefault);
+        let cache = contention_factor_for(Machine::Theta, 384, LoadMethod::BinaryCache);
+        assert!(cache > 1.0, "contention never vanishes entirely");
+        assert!(
+            cache - 1.0 < (parse - 1.0) * 0.3,
+            "cache contention {cache} vs parse {parse}"
+        );
+        // The method-agnostic factor matches the parse methods' factor.
+        assert_eq!(
+            contention_factor(Machine::Theta, 384),
+            contention_factor_for(Machine::Theta, 384, LoadMethod::Dask)
+        );
     }
 
     #[test]

@@ -449,6 +449,26 @@ mod tests {
     }
 
     #[test]
+    fn warm_cache_run_beats_optimized_parse() {
+        // A warm-cache rank loads >3x faster than even the chunked parse,
+        // and the lower skew shrinks the broadcast negotiation too.
+        let chunked = simulate(
+            &nt3(),
+            &summit_strong(48, LoadMethod::ChunkedLowMemoryFalse),
+        )
+        .unwrap();
+        let cache = simulate(&nt3(), &summit_strong(48, LoadMethod::BinaryCache)).unwrap();
+        assert!(
+            cache.data_load_s < chunked.data_load_s / 3.0,
+            "cache load {:.2}s vs chunked {:.2}s",
+            cache.data_load_s,
+            chunked.data_load_s
+        );
+        assert!(cache.broadcast_s < chunked.broadcast_s);
+        assert!(cache.total_s < chunked.total_s);
+    }
+
+    #[test]
     fn oom_on_nt3_batch_50() {
         let cfg = RunConfig {
             batch_size: 50,
@@ -595,7 +615,8 @@ mod tests {
                 prop_oneof![
                     Just(LoadMethod::PandasDefault),
                     Just(LoadMethod::ChunkedLowMemoryFalse),
-                    Just(LoadMethod::Dask)
+                    Just(LoadMethod::Dask),
+                    Just(LoadMethod::BinaryCache)
                 ],
             )
                 .prop_map(|(bench, machine, workers, epochs_pw, method)| {

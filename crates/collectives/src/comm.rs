@@ -367,7 +367,6 @@ mod tests {
     }
 
     mod properties {
-        use super::*;
         use crate::world::run_workers;
         use proptest::prelude::*;
 

@@ -1,0 +1,189 @@
+//! Low-level binary format primitives: little-endian encoding helpers,
+//! dtype codes, and the FNV-1a checksum shared by shards and manifests.
+
+use crate::CacheError;
+use dataio::Dtype;
+
+/// Magic bytes opening every shard file ("CANDLE Data Shard v1").
+pub const MAGIC: [u8; 4] = *b"CDS1";
+
+/// Format version written into every shard header.
+pub const VERSION: u16 = 1;
+
+/// One-byte on-disk codes for [`Dtype`].
+pub fn dtype_code(dtype: Dtype) -> u8 {
+    match dtype {
+        Dtype::Int64 => 0,
+        Dtype::Float64 => 1,
+        Dtype::Str => 2,
+    }
+}
+
+/// Inverse of [`dtype_code`].
+pub fn dtype_from_code(code: u8) -> Result<Dtype, CacheError> {
+    match code {
+        0 => Ok(Dtype::Int64),
+        1 => Ok(Dtype::Float64),
+        2 => Ok(Dtype::Str),
+        other => Err(CacheError::Corrupt(format!("unknown dtype code {other}"))),
+    }
+}
+
+/// FNV-1a 64-bit hash — the shard checksum and manifest source key. Fast,
+/// dependency-free, and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Extends an FNV-1a hash with more bytes (for hashing heterogeneous
+/// fields without an intermediate buffer).
+pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Initial value for incremental FNV-1a hashing via [`fnv1a64_extend`].
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Little-endian append helpers.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    // Bit-exact: NaN payloads and signed zeros survive the round trip.
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CacheError> {
+        if self.remaining() < n {
+            return Err(CacheError::Corrupt(format!(
+                "truncated shard: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, CacheError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    pub fn take_u16(&mut self) -> Result<u16, CacheError> {
+        Ok(u16::from_le_bytes(self.take_bytes(2)?.try_into().unwrap()))
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, CacheError> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, CacheError> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn take_i64(&mut self) -> Result<i64, CacheError> {
+        Ok(i64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn take_f64(&mut self) -> Result<f64, CacheError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv_extend_equals_one_shot() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_extend(fnv1a64_extend(FNV_OFFSET, b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn dtype_codes_round_trip() {
+        for d in [Dtype::Int64, Dtype::Float64, Dtype::Str] {
+            assert_eq!(dtype_from_code(dtype_code(d)).unwrap(), d);
+        }
+        assert!(dtype_from_code(9).is_err());
+    }
+
+    #[test]
+    fn reader_round_trips_scalars() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.take_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.take_u32().unwrap(), 7);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let buf = [1u8, 2, 3];
+        let mut r = ByteReader::new(&buf);
+        assert!(r.take_u64().is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Shard encoding: one contiguous row range of a [`Frame`], column-major,
+//! with a self-describing header and a trailing checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      [u8; 4]   "CDS1"
+//! version    u16
+//! shard_idx  u32
+//! start_row  u64       row offset of this shard in the source frame
+//! nrows      u64       rows stored in this shard
+//! ncols      u32
+//! dtypes     [u8]      ncols one-byte dtype codes
+//! columns    ...       per column, all nrows values:
+//!                        Int64   -> i64 raw
+//!                        Float64 -> f64 bit pattern (bit-exact)
+//!                        Str     -> u32 byte length + UTF-8 bytes
+//! checksum   u64       FNV-1a 64 over every preceding byte
+//! ```
+
+use crate::format::{
+    dtype_code, dtype_from_code, fnv1a64, put_f64, put_i64, put_u16, put_u32, put_u64, ByteReader,
+    MAGIC, VERSION,
+};
+use crate::CacheError;
+use dataio::{Column, Dtype, Frame};
+
+/// A decoded shard: its identity within the source frame plus the rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedShard {
+    /// Index of this shard in the manifest's shard list.
+    pub index: u32,
+    /// Row offset of the shard's first row in the source frame.
+    pub start_row: usize,
+    /// The shard's rows as a frame (same column dtypes as the source).
+    pub frame: Frame,
+}
+
+/// Encodes rows `[start, end)` of `frame` as shard number `index`.
+///
+/// # Panics
+/// Panics if the row range is out of bounds or reversed.
+pub fn encode_shard(frame: &Frame, index: u32, start: usize, end: usize) -> Vec<u8> {
+    assert!(start <= end && end <= frame.nrows(), "bad shard row range");
+    let nrows = end - start;
+    let mut buf = Vec::with_capacity(64 + nrows * frame.ncols() * 8);
+    buf.extend_from_slice(&MAGIC);
+    put_u16(&mut buf, VERSION);
+    put_u32(&mut buf, index);
+    put_u64(&mut buf, start as u64);
+    put_u64(&mut buf, nrows as u64);
+    put_u32(&mut buf, frame.ncols() as u32);
+    for col in frame.columns() {
+        buf.push(dtype_code(col.dtype()));
+    }
+    for col in frame.columns() {
+        match col {
+            Column::Int64(v) => {
+                for &x in &v[start..end] {
+                    put_i64(&mut buf, x);
+                }
+            }
+            Column::Float64(v) => {
+                for &x in &v[start..end] {
+                    put_f64(&mut buf, x);
+                }
+            }
+            Column::Str(v) => {
+                for s in &v[start..end] {
+                    put_u32(&mut buf, s.len() as u32);
+                    buf.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+    let checksum = fnv1a64(&buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// Decodes and validates one shard: magic, version, structural bounds, and
+/// the trailing checksum all have to match.
+pub fn decode_shard(bytes: &[u8]) -> Result<DecodedShard, CacheError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(CacheError::Corrupt(format!(
+            "shard file too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(CacheError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+
+    let mut r = ByteReader::new(body);
+    if r.take_bytes(4)? != MAGIC {
+        return Err(CacheError::Corrupt("bad magic".into()));
+    }
+    let version = r.take_u16()?;
+    if version != VERSION {
+        return Err(CacheError::Corrupt(format!(
+            "unsupported shard version {version} (expected {VERSION})"
+        )));
+    }
+    let index = r.take_u32()?;
+    let start_row = r.take_u64()? as usize;
+    let nrows = r.take_u64()? as usize;
+    let ncols = r.take_u32()? as usize;
+
+    let mut dtypes = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        dtypes.push(dtype_from_code(r.take_u8()?)?);
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for dtype in dtypes {
+        let col = match dtype {
+            Dtype::Int64 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.take_i64()?);
+                }
+                Column::Int64(v)
+            }
+            Dtype::Float64 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.take_f64()?);
+                }
+                Column::Float64(v)
+            }
+            Dtype::Str => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let len = r.take_u32()? as usize;
+                    let raw = r.take_bytes(len)?;
+                    let s = std::str::from_utf8(raw)
+                        .map_err(|_| CacheError::Corrupt("non-UTF8 string cell".into()))?;
+                    v.push(s.to_string());
+                }
+                Column::Str(v)
+            }
+        };
+        columns.push(col);
+    }
+    if r.remaining() != 0 {
+        return Err(CacheError::Corrupt(format!(
+            "{} trailing bytes after column data",
+            r.remaining()
+        )));
+    }
+    let frame = Frame::new(columns)
+        .map_err(|e| CacheError::Corrupt(format!("decoded columns invalid: {e}")))?;
+    if frame.nrows() != nrows {
+        return Err(CacheError::Corrupt(format!(
+            "header says {nrows} rows, columns hold {}",
+            frame.nrows()
+        )));
+    }
+    Ok(DecodedShard {
+        index,
+        start_row,
+        frame,
+    })
+}
+
+/// Splits `nrows` into `nshards` contiguous `(start, end)` ranges whose
+/// sizes differ by at most one row. Fewer shards come back when there are
+/// fewer rows than requested shards (empty shards are never produced,
+/// except a single empty shard for an empty frame).
+pub fn shard_ranges(nrows: usize, nshards: usize) -> Vec<(usize, usize)> {
+    let k = nshards.max(1).min(nrows.max(1));
+    let base = nrows / k;
+    let extra = nrows % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrng::RandomSource;
+
+    fn mixed_frame(rows: usize, seed: u64) -> Frame {
+        let mut rng = xrng::seeded(seed);
+        let ints = Column::Int64((0..rows).map(|_| rng.next_u64() as i64).collect());
+        let floats = Column::Float64(
+            (0..rows)
+                .map(|i| {
+                    // Include the awkward bit patterns on purpose.
+                    match i % 5 {
+                        0 => f64::NAN,
+                        1 => -0.0,
+                        2 => f64::INFINITY,
+                        _ => rng.next_f32() as f64 * 1e9 - 5e8,
+                    }
+                })
+                .collect(),
+        );
+        let strs = Column::Str(
+            (0..rows)
+                .map(|i| format!("cell-{}-{}", i, rng.next_below(1000)))
+                .collect(),
+        );
+        Frame::new(vec![ints, floats, strs]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let frame = mixed_frame(37, 11);
+        let bytes = encode_shard(&frame, 3, 5, 30);
+        let decoded = decode_shard(&bytes).unwrap();
+        assert_eq!(decoded.index, 3);
+        assert_eq!(decoded.start_row, 5);
+        assert_eq!(decoded.frame.nrows(), 25);
+        // Bit-exact comparison, including NaN payloads and -0.0.
+        for (orig, got) in frame.columns().iter().zip(decoded.frame.columns()) {
+            match (orig, got) {
+                (Column::Int64(a), Column::Int64(b)) => assert_eq!(&a[5..30], &b[..]),
+                (Column::Float64(a), Column::Float64(b)) => {
+                    let abits: Vec<u64> = a[5..30].iter().map(|x| x.to_bits()).collect();
+                    let bbits: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(abits, bbits);
+                }
+                (Column::Str(a), Column::Str(b)) => assert_eq!(&a[5..30], &b[..]),
+                _ => panic!("dtype changed in round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_at_every_byte() {
+        let frame = mixed_frame(8, 23);
+        let bytes = encode_shard(&frame, 0, 0, 8);
+        // Flip one bit at a sample of positions spanning header, data, and
+        // checksum; every corruption must be rejected.
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decode_shard(&bad).is_err(),
+                "bit flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let frame = mixed_frame(8, 29);
+        let bytes = encode_shard(&frame, 0, 0, 8);
+        assert!(decode_shard(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_shard(&bytes[..10]).is_err());
+        assert!(decode_shard(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_shard_round_trips() {
+        let frame = Frame::new(vec![Column::Float64(vec![]), Column::Int64(vec![])]).unwrap();
+        let bytes = encode_shard(&frame, 0, 0, 0);
+        let decoded = decode_shard(&bytes).unwrap();
+        assert_eq!(decoded.frame.nrows(), 0);
+        assert_eq!(decoded.frame.ncols(), 2);
+    }
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for (rows, shards) in [(100, 4), (101, 4), (3, 8), (0, 4), (1, 1)] {
+            let ranges = shard_ranges(rows, shards);
+            let mut cursor = 0;
+            for &(s, e) in &ranges {
+                assert_eq!(s, cursor);
+                assert!(e >= s);
+                cursor = e;
+            }
+            assert_eq!(cursor, rows);
+            assert!(ranges.len() <= shards.max(1));
+            if rows > 0 {
+                let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced shards: {sizes:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The cache store: cold builds (parse once, write shards) and warm opens
+//! (verified shard loads), plus per-rank shard assignment.
+
+use crate::manifest::{source_key_for_file, Manifest, ShardEntry, MANIFEST_VERSION};
+use crate::shard::{decode_shard, encode_shard, shard_ranges};
+use crate::CacheError;
+use dataio::{read_csv, Frame, ReadStrategy};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How a dataset came out of the store, with phase timings for reporting.
+#[derive(Debug, Clone)]
+pub enum CacheOutcome {
+    /// First contact with this source: it was parsed/generated and the
+    /// shards were written.
+    ColdBuilt {
+        /// Time spent producing the source frame (CSV parse or generator).
+        build: Duration,
+        /// Time spent encoding and writing shards plus the manifest.
+        encode_write: Duration,
+    },
+    /// The manifest matched, shards are served from disk.
+    WarmHit {
+        /// Time spent loading and validating the manifest.
+        manifest_load: Duration,
+    },
+}
+
+impl CacheOutcome {
+    /// True when the open was served from an existing cache.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, CacheOutcome::WarmHit { .. })
+    }
+}
+
+/// A directory of cached datasets, one subdirectory per source key.
+pub struct CacheStore {
+    root: PathBuf,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, CacheError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory holding the dataset cached under `key`.
+    pub fn dataset_dir(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}"))
+    }
+
+    /// Opens a CSV-backed dataset: warm if a valid cache keyed by the
+    /// file's (path, size, mtime, strategy) exists, otherwise parses the
+    /// CSV with `strategy` and builds an `nshards`-way cache.
+    pub fn open_csv(
+        &self,
+        csv: &Path,
+        strategy: ReadStrategy,
+        nshards: usize,
+    ) -> Result<(CachedDataset, CacheOutcome), CacheError> {
+        let key = source_key_for_file(csv, strategy.label())?;
+        self.open_or_build(key, &csv.to_string_lossy(), "", nshards, || {
+            let (frame, _stats) = read_csv(csv, strategy)?;
+            Ok(frame)
+        })
+    }
+
+    /// Generic open: serves a warm hit when a valid manifest for `key`
+    /// exists, otherwise invokes `build` for the source frame and writes
+    /// the cache. `tag` rides along in the manifest for integration
+    /// metadata (e.g. train/test split bookkeeping).
+    pub fn open_or_build(
+        &self,
+        key: u64,
+        source_desc: &str,
+        tag: &str,
+        nshards: usize,
+        build: impl FnOnce() -> Result<Frame, CacheError>,
+    ) -> Result<(CachedDataset, CacheOutcome), CacheError> {
+        let dir = self.dataset_dir(key);
+        let warm_start = Instant::now();
+        match Manifest::load_from(&dir) {
+            Ok(manifest) if manifest.source_key == key => {
+                return Ok((
+                    CachedDataset { dir, manifest },
+                    CacheOutcome::WarmHit {
+                        manifest_load: warm_start.elapsed(),
+                    },
+                ));
+            }
+            // Missing or invalid manifest: fall through to a cold build.
+            // A key collision with a different source_key is treated the
+            // same way and rebuilt in place.
+            _ => {}
+        }
+
+        let build_start = Instant::now();
+        let frame = build()?;
+        let build_time = build_start.elapsed();
+
+        let write_start = Instant::now();
+        let dataset = write_cache(&dir, key, source_desc, tag, &frame, nshards)?;
+        Ok((
+            dataset,
+            CacheOutcome::ColdBuilt {
+                build: build_time,
+                encode_write: write_start.elapsed(),
+            },
+        ))
+    }
+
+    /// Drops the cached dataset for `key`, if present.
+    pub fn evict(&self, key: u64) -> Result<(), CacheError> {
+        let dir = self.dataset_dir(key);
+        if dir.exists() {
+            std::fs::remove_dir_all(dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes `frame` into `nshards` shard files under `dir` and writes the
+/// manifest last, so a crash mid-build never leaves a valid manifest over
+/// incomplete shards.
+fn write_cache(
+    dir: &Path,
+    key: u64,
+    source_desc: &str,
+    tag: &str,
+    frame: &Frame,
+    nshards: usize,
+) -> Result<CachedDataset, CacheError> {
+    std::fs::create_dir_all(dir)?;
+    let ranges = shard_ranges(frame.nrows(), nshards);
+    let mut entries = Vec::with_capacity(ranges.len());
+    for (i, &(start, end)) in ranges.iter().enumerate() {
+        let bytes = encode_shard(frame, i as u32, start, end);
+        let checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let file = format!("shard-{i:04}.bin");
+        std::fs::write(dir.join(&file), &bytes)?;
+        entries.push(ShardEntry {
+            file,
+            start_row: start,
+            rows: end - start,
+            bytes: bytes.len() as u64,
+            checksum,
+        });
+    }
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        source_key: key,
+        source: source_desc.to_string(),
+        nrows: frame.nrows(),
+        ncols: frame.ncols(),
+        tag: tag.to_string(),
+        shards: entries,
+    };
+    manifest.write_to(dir)?;
+    Ok(CachedDataset {
+        dir: dir.to_path_buf(),
+        manifest,
+    })
+}
+
+/// An opened cached dataset: a manifest plus the directory its shard
+/// files live in.
+pub struct CachedDataset {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl CachedDataset {
+    /// The manifest describing this dataset.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.manifest.shards.len()
+    }
+
+    /// Total rows across shards.
+    pub fn nrows(&self) -> usize {
+        self.manifest.nrows
+    }
+
+    /// Columns per shard.
+    pub fn ncols(&self) -> usize {
+        self.manifest.ncols
+    }
+
+    /// Directory holding the shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reads, checksums, and decodes shard `index`.
+    pub fn load_shard(&self, index: usize) -> Result<Frame, CacheError> {
+        let entry = self.manifest.shards.get(index).ok_or_else(|| {
+            CacheError::Corrupt(format!(
+                "shard index {index} out of range ({} shards)",
+                self.manifest.shards.len()
+            ))
+        })?;
+        let bytes = std::fs::read(self.dir.join(&entry.file))?;
+        if bytes.len() as u64 != entry.bytes {
+            return Err(CacheError::Corrupt(format!(
+                "shard {index}: file is {} bytes, manifest says {}",
+                bytes.len(),
+                entry.bytes
+            )));
+        }
+        let decoded = decode_shard(&bytes)?;
+        if decoded.index as usize != index || decoded.start_row != entry.start_row {
+            return Err(CacheError::Corrupt(format!(
+                "shard {index}: header identity (index {}, start {}) disagrees with manifest",
+                decoded.index, decoded.start_row
+            )));
+        }
+        if decoded.frame.nrows() != entry.rows || decoded.frame.ncols() != self.manifest.ncols {
+            return Err(CacheError::Corrupt(format!(
+                "shard {index}: decoded shape {}x{} disagrees with manifest {}x{}",
+                decoded.frame.nrows(),
+                decoded.frame.ncols(),
+                entry.rows,
+                self.manifest.ncols
+            )));
+        }
+        Ok(decoded.frame)
+    }
+
+    /// Loads every shard and reassembles the full source frame.
+    pub fn load_all(&self) -> Result<Frame, CacheError> {
+        let mut frames = Vec::with_capacity(self.nshards());
+        for i in 0..self.nshards() {
+            frames.push(self.load_shard(i)?);
+        }
+        Frame::concat(frames).map_err(CacheError::from)
+    }
+
+    /// Shard indices assigned to `rank` of `nranks` (round-robin), the
+    /// per-rank read pattern of a sharded warm start.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or `rank >= nranks`.
+    pub fn rank_shards(&self, rank: usize, nranks: usize) -> Vec<usize> {
+        assert!(nranks > 0, "nranks must be positive");
+        assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
+        (rank..self.nshards()).step_by(nranks).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataio::{generate, write_csv_dataset, ClassSpec, SyntheticSpec};
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("datacache_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_csv(dir: &Path) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("data.csv");
+        let spec = SyntheticSpec {
+            rows: 120,
+            cols: 10,
+            kind: ClassSpec::Classification {
+                classes: 4,
+                separation: 1.0,
+            },
+            noise: 0.3,
+            seed: 9,
+        };
+        let ds = generate(&spec);
+        write_csv_dataset(&path, &ds).unwrap();
+        path
+    }
+
+    #[test]
+    fn cold_then_warm_reproduces_frame() {
+        let root = tmp_root("coldwarm");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+
+        let (ds1, outcome1) = store
+            .open_csv(&csv, ReadStrategy::ChunkedLowMemory, 4)
+            .unwrap();
+        assert!(!outcome1.is_warm());
+        assert_eq!(ds1.nshards(), 4);
+
+        let (ds2, outcome2) = store
+            .open_csv(&csv, ReadStrategy::ChunkedLowMemory, 4)
+            .unwrap();
+        assert!(outcome2.is_warm());
+
+        let (direct, _) = read_csv(&csv, ReadStrategy::ChunkedLowMemory).unwrap();
+        assert_eq!(ds2.load_all().unwrap(), direct);
+        assert_eq!(ds1.load_all().unwrap(), direct);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn modified_source_misses_cache() {
+        let root = tmp_root("invalidate");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let (_, o1) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 2).unwrap();
+        assert!(!o1.is_warm());
+
+        // Append a row: size (and mtime) change, so the key changes.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&csv).unwrap();
+        writeln!(f, "{}", "0,".repeat(10) + "1").unwrap();
+        drop(f);
+
+        let (_, o2) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 2).unwrap();
+        assert!(!o2.is_warm(), "modified file must rebuild, not warm-hit");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn different_strategy_is_a_different_key() {
+        let root = tmp_root("strategies");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let (_, o1) = store.open_csv(&csv, ReadStrategy::PandasDefault, 2).unwrap();
+        let (_, o2) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 2).unwrap();
+        assert!(!o1.is_warm());
+        assert!(!o2.is_warm(), "strategy is part of the cache key");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupted_shard_file_is_rejected_on_load() {
+        let root = tmp_root("corrupt");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let (ds, _) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 3).unwrap();
+
+        let shard_path = ds.dir().join(&ds.manifest().shards[1].file);
+        let mut bytes = std::fs::read(&shard_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&shard_path, &bytes).unwrap();
+
+        assert!(ds.load_shard(0).is_ok());
+        assert!(ds.load_shard(1).is_err(), "flipped byte must be detected");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rank_shards_partition_all_shards() {
+        let root = tmp_root("ranks");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let (ds, _) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 8).unwrap();
+        let nranks = 3;
+        let mut seen = Vec::new();
+        for rank in 0..nranks {
+            seen.extend(ds.rank_shards(rank, nranks));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..ds.nshards()).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_or_build_with_generator_source() {
+        let root = tmp_root("generator");
+        let store = CacheStore::new(&root).unwrap();
+        let mut builds = 0;
+        let key = 0x1234;
+        for _ in 0..2 {
+            let (ds, _) = store
+                .open_or_build(key, "synthetic:nt3-tiny", "ycols=1", 2, || {
+                    builds += 1;
+                    let spec = SyntheticSpec {
+                        rows: 30,
+                        cols: 5,
+                        kind: ClassSpec::Classification {
+                            classes: 2,
+                            separation: 1.0,
+                        },
+                        noise: 0.3,
+                        seed: 3,
+                    };
+                    let ds = generate(&spec);
+                    let path = root.join("gen.csv");
+                    write_csv_dataset(&path, &ds).unwrap();
+                    let (frame, _) = read_csv(&path, ReadStrategy::ChunkedLowMemory)?;
+                    Ok(frame)
+                })
+                .unwrap();
+            assert_eq!(ds.manifest().tag, "ycols=1");
+            assert_eq!(ds.nrows(), 30);
+        }
+        assert_eq!(builds, 1, "second open must be a warm hit");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn evict_forces_rebuild() {
+        let root = tmp_root("evict");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let key = source_key_for_file(&csv, ReadStrategy::ChunkedLowMemory.label()).unwrap();
+        store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 2).unwrap();
+        store.evict(key).unwrap();
+        let (_, o) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 2).unwrap();
+        assert!(!o.is_warm());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -60,6 +60,17 @@ pub struct LoadStats {
     pub chunks: usize,
 }
 
+impl LoadStats {
+    /// Parse throughput in MiB/s (0.0 for an instantaneous or empty read).
+    pub fn throughput_mib_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
 /// Reads a CSV file with the requested strategy.
 pub fn read_csv(path: &Path, strategy: ReadStrategy) -> Result<(Frame, LoadStats), DataError> {
     let start = Instant::now();
@@ -214,7 +225,7 @@ fn read_dask(path: &Path) -> Result<(Frame, usize), DataError> {
     }
     let text =
         std::str::from_utf8(&bytes).map_err(|_| DataError::Malformed("non-UTF8 content".into()))?;
-    let nparts = parx::default_threads().min(8).max(1);
+    let nparts = parx::default_threads().clamp(1, 8);
     // Partition boundaries: advance each target offset to the next newline.
     let mut bounds = vec![0usize];
     for i in 1..nparts {
@@ -287,6 +298,43 @@ mod tests {
             assert!(stats.bytes > 0);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// xrng-driven property test: for randomly drawn file geometries, all
+    /// three strategies must materialize the *identical* frame — they are
+    /// different read schedules over the same parse semantics.
+    #[test]
+    fn random_geometries_parse_identically_across_strategies() {
+        use xrng::RandomSource;
+        let mut rng = xrng::seeded(0xC5F_D47A);
+        for case in 0..12 {
+            let rows = 1 + rng.next_index(300);
+            let cols = 1 + rng.next_index(40);
+            let (path, _) = write_matrix(&format!("prop_{case}.csv"), rows, cols);
+            let (base, base_stats) = read_csv(&path, ReadStrategy::PandasDefault).unwrap();
+            for strategy in [ReadStrategy::ChunkedLowMemory, ReadStrategy::DaskParallel] {
+                let (frame, stats) = read_csv(&path, strategy).unwrap();
+                assert_eq!(frame, base, "case {case}: {rows}x{cols} {strategy:?}");
+                assert_eq!(stats.bytes, base_stats.bytes);
+                assert_eq!((stats.rows, stats.cols), (rows, cols));
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn throughput_reflects_bytes_over_elapsed() {
+        let mut stats = LoadStats {
+            strategy: ReadStrategy::PandasDefault,
+            bytes: 3 * 1024 * 1024,
+            rows: 10,
+            cols: 3,
+            elapsed: Duration::from_secs(2),
+            chunks: 1,
+        };
+        assert!((stats.throughput_mib_s() - 1.5).abs() < 1e-12);
+        stats.elapsed = Duration::ZERO;
+        assert_eq!(stats.throughput_mib_s(), 0.0);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub fn fig10(quick: bool) -> Experiment {
                 seed: 1010,
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
+                cache: None,
             };
             if let Ok(out) = candle::run_parallel(&spec) {
                 // R²-style accuracy: 1 − MSE / Var(target).
@@ -157,6 +158,7 @@ mod tests {
                 seed: 1010,
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
+                cache: None,
             };
             let out = candle::run_parallel(&spec).unwrap();
             1.0 - out.test_loss / out.test_target_variance

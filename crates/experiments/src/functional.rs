@@ -59,6 +59,7 @@ pub fn accuracy_sweep(
                 seed,
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
+                cache: None,
             };
             candle::run_parallel(&spec).ok().map(|out| AccuracyPoint {
                 workers: w,

@@ -17,6 +17,7 @@
 //! targeted use by the benches and tests.
 
 mod ablations;
+mod cache_table;
 mod figures_batch;
 mod figures_improve;
 mod figures_strong;
@@ -30,6 +31,7 @@ pub use ablations::{
     ablation_collectives_measured, ablation_fusion, ablation_hierarchical_allreduce,
     ablation_nccl_upgrade, ablations,
 };
+pub use cache_table::{measure_cache_comparison, table_cache, CacheComparison};
 pub use figures_batch::fig10;
 pub use figures_improve::{fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use figures_strong::{fig6, fig7, fig8, fig9};
@@ -57,6 +59,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         fig10(quick),
         table3(),
         table4(),
+        table_cache(quick),
         fig11(),
         table5(),
         fig12(),
@@ -78,7 +81,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 22);
+        assert_eq!(experiments.len(), 23);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -87,5 +90,6 @@ mod tests {
         assert_eq!(experiments[0].id, "table1");
         assert!(experiments.iter().any(|e| e.id == "fig12"));
         assert!(experiments.iter().any(|e| e.id == "table6"));
+        assert!(experiments.iter().any(|e| e.id == "table_cache"));
     }
 }

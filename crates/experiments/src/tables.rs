@@ -326,6 +326,7 @@ pub fn table6(quick: bool) -> Experiment {
                 seed: 99,
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
+                cache: None,
             };
             let out = candle::run_parallel(&spec).expect("weak run");
             (w, out.train_accuracy.unwrap_or(0.0))

@@ -105,7 +105,7 @@ where
     let partials: Vec<T> = if chunks.len() == 1 || n < threads * MIN_ITEMS_PER_THREAD {
         chunks
             .iter()
-            .map(|c| (c.start..c.end).fold(identity.clone(), |acc, i| fold(acc, i)))
+            .map(|c| (c.start..c.end).fold(identity.clone(), &fold))
             .collect()
     } else {
         let fold = &fold;
@@ -114,7 +114,7 @@ where
                 .iter()
                 .map(|&c| {
                     let id = identity.clone();
-                    scope.spawn(move || (c.start..c.end).fold(id, |acc, i| fold(acc, i)))
+                    scope.spawn(move || (c.start..c.end).fold(id, fold))
                 })
                 .collect();
             handles

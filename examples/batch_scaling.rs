@@ -70,6 +70,7 @@ fn main() {
                 seed: 555,
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
+                cache: None,
             };
             match candle::run_parallel(&spec) {
                 Ok(out) => println!(

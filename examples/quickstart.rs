@@ -26,6 +26,7 @@ fn main() {
         seed: 2024,
         record_timeline: true,
         data_mode: candle::pipeline::DataMode::FullReplicated,
+        cache: None,
     };
     println!("training NT3 on {workers} simulated workers (ring allreduce, lr x{workers})...");
     let out = candle::run_parallel(&spec).expect("training run");

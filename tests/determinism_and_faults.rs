@@ -17,6 +17,7 @@ fn nt3_spec(workers: usize, seed: u64) -> ParallelRunSpec {
         seed,
         record_timeline: false,
         data_mode: candle::pipeline::DataMode::FullReplicated,
+        cache: None,
     }
 }
 

@@ -59,6 +59,7 @@ fn weak_scaling_accuracy_is_stable() {
             seed: 41,
             record_timeline: false,
             data_mode: DataMode::FullReplicated,
+            cache: None,
         };
         let out = candle::run_parallel(&spec).expect("weak run");
         accs.push(out.test_accuracy);
@@ -88,6 +89,7 @@ fn sharded_mode_learns() {
         seed: 43,
         record_timeline: false,
         data_mode: DataMode::Sharded,
+        cache: None,
     };
     let out = candle::run_parallel(&spec).expect("sharded run");
     assert!(out.test_accuracy > 0.85, "accuracy {}", out.test_accuracy);

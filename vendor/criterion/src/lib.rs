@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace patches `criterion` to this in-tree implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). It implements the subset
+//! of criterion's API the bench targets use — groups, `bench_function`,
+//! `bench_with_input`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros — as a plain wall-clock harness: a short warm-up
+//! followed by `sample_size` timed samples, reporting the per-sample mean
+//! and min. There are no plots, baselines, or statistical analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group; folded into the
+/// report as MiB/s or Melem/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    samples: usize,
+    /// Mean and minimum per-iteration time of the collected samples.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up for the configured duration, then
+    /// `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up = dur;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is driven by
+    /// `sample_size` alone.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the throughput used to derive rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            samples: self.samples,
+            result: None,
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            samples: self.samples,
+            result: None,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Marks the group finished. Purely cosmetic here.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let Some((mean, min)) = bencher.result else {
+            println!("{}/{id}: no measurement (iter was never called)", self.name);
+            return;
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => {
+                format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Throughput::Elements(e) => {
+                format!("  {:.2} Melem/s", e as f64 / mean.as_secs_f64() / 1.0e6)
+            }
+        });
+        println!(
+            "{}/{id}: mean {:?}  min {:?}{}",
+            self.name,
+            mean,
+            min,
+            rate.unwrap_or_default()
+        );
+        let _ = &self.criterion;
+    }
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up: Duration::from_millis(300),
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, routine);
+        self
+    }
+}
+
+/// Defines a bench group function invoked by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes filter/--bench arguments; this harness
+            // runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "routine ran at least sample_size times");
+    }
+
+    #[test]
+    fn bench_with_input_passes_value() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("input");
+        group.warm_up_time(Duration::from_millis(1));
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
