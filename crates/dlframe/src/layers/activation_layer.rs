@@ -36,6 +36,10 @@ impl Layer for ActivationLayer {
         Ok(y)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        Ok(self.activation.forward(input))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
         let y = require_cached(&self.output_cache, "activation")?;
         Ok(self.activation.backward(y, grad_out))

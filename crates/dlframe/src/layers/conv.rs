@@ -68,14 +68,9 @@ impl Conv1D {
     pub fn filters(&self) -> usize {
         self.filters
     }
-}
 
-impl Layer for Conv1D {
-    fn name(&self) -> &'static str {
-        "conv1d"
-    }
-
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+    /// The pure computation shared by the training and inference paths.
+    fn compute(&self, input: &Tensor) -> Result<Tensor, DlError> {
         let (_, _, in_ch) = input.shape().as_3d();
         if in_ch != self.in_channels {
             return Err(DlError::BadInput(format!(
@@ -93,10 +88,24 @@ impl Layer for Conv1D {
                 *x += b;
             }
         }
-        let y = self.activation.forward(&z);
+        Ok(self.activation.forward(&z))
+    }
+}
+
+impl Layer for Conv1D {
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let y = self.compute(input)?;
         self.input_cache = Some(input.clone());
         self.output_cache = Some(y.clone());
         Ok(y)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        self.compute(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {

@@ -47,14 +47,9 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.out_dim
     }
-}
 
-impl Layer for Dense {
-    fn name(&self) -> &'static str {
-        "dense"
-    }
-
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+    /// The pure computation shared by the training and inference paths.
+    fn compute(&self, input: &Tensor) -> Result<Tensor, DlError> {
         let (_, cols) = input.shape().as_2d();
         if cols != self.in_dim {
             return Err(DlError::BadInput(format!(
@@ -65,10 +60,24 @@ impl Layer for Dense {
         let mut z = matmul(input, &self.weights).map_err(|e| DlError::BadInput(e.to_string()))?;
         z.add_row_broadcast(&self.bias)
             .map_err(|e| DlError::BadInput(e.to_string()))?;
-        let y = self.activation.forward(&z);
+        Ok(self.activation.forward(&z))
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        let y = self.compute(input)?;
         self.input_cache = Some(input.clone());
         self.output_cache = Some(y.clone());
         Ok(y)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        self.compute(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {

@@ -63,6 +63,11 @@ impl Layer for Dropout {
         Ok(out)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        // Inverted dropout is identity at inference; the RNG is untouched.
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
         match &self.mask {
             None => Ok(grad_out.clone()),

@@ -24,12 +24,22 @@ use crate::DlError;
 use tensor::Tensor;
 
 /// A differentiable layer in a [`Sequential`](crate::Sequential) stack.
-pub trait Layer: Send {
+///
+/// `Send + Sync` is required so a trained model can be shared immutably
+/// between inference worker threads (the `serve` crate wraps one replica
+/// in an `Arc` and runs [`Layer::forward_infer`] from many workers).
+pub trait Layer: Send + Sync {
     /// Keras-style layer name (for summaries and traces).
     fn name(&self) -> &'static str;
 
     /// Computes the layer output, caching whatever the backward pass needs.
     fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError>;
+
+    /// Inference-only forward pass: no training-time stochasticity
+    /// (dropout is identity) and no backward cache, so it works on a
+    /// shared `&self` and is safe to call concurrently. Must produce
+    /// bit-identical outputs to `forward(input, false)`.
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError>;
 
     /// Computes `dL/dinput` from `dL/doutput` and accumulates parameter
     /// gradients internally. Must be called after `forward`.
@@ -84,6 +94,9 @@ mod tests {
             "noparams"
         }
         fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+            Ok(input.clone())
+        }
+        fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
             Ok(input.clone())
         }
         fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {

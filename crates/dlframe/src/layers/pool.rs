@@ -44,6 +44,12 @@ impl Layer for MaxPooling1D {
         Ok(out)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        let (out, _) =
+            maxpool1d_forward(input, self.pool).map_err(|e| DlError::BadInput(e.to_string()))?;
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
         let argmax = self
             .argmax

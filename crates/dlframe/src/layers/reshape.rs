@@ -33,8 +33,12 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
-        let (batch, steps, ch) = input.shape().as_3d();
         self.input_shape = Some(input.shape().clone());
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
+        let (batch, steps, ch) = input.shape().as_3d();
         input
             .clone()
             .reshape([batch, steps * ch])
@@ -76,6 +80,10 @@ impl Layer for Reshape3 {
     }
 
     fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
         let (batch, features) = input.shape().as_2d();
         if features != self.steps * self.channels {
             return Err(DlError::BadInput(format!(

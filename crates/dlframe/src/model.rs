@@ -122,8 +122,30 @@ impl Sequential {
         Ok(h)
     }
 
-    /// Inference forward pass.
-    pub fn predict(&mut self, x: &Tensor) -> Result<Tensor, DlError> {
+    /// Immutable inference forward pass: no backward caches are written
+    /// and no RNG state advances, so a trained model behind an `Arc` can
+    /// serve predictions from many threads concurrently. Bit-identical to
+    /// `forward(x, false)`.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, DlError> {
+        if self.layers.is_empty() {
+            return Err(DlError::NotReady("model has no layers".into()));
+        }
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_infer(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Inference forward pass (shared, thread-safe).
+    pub fn predict(&self, x: &Tensor) -> Result<Tensor, DlError> {
+        self.forward_infer(x)
+    }
+
+    /// Inference through the mutable training path (writes backward
+    /// caches). Only needed when a later `backward` should see this
+    /// input; plain prediction should use [`Sequential::predict`].
+    pub fn predict_mut(&mut self, x: &Tensor) -> Result<Tensor, DlError> {
         self.forward(x, false)
     }
 
@@ -346,7 +368,9 @@ impl Sequential {
     }
 
     /// Computes `(mean loss, accuracy)` on a dataset without training.
-    pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> Result<(f64, f64), DlError> {
+    /// Runs on the immutable inference path, so it can be called on a
+    /// shared model replica.
+    pub fn evaluate(&self, data: &Dataset, batch_size: usize) -> Result<(f64, f64), DlError> {
         let loss_fn = self
             .loss
             .ok_or_else(|| DlError::NotReady("compile first".into()))?;
@@ -358,7 +382,7 @@ impl Sequential {
         let mut correct = 0usize;
         for idx in &batches {
             let (x, y) = data.batch(idx);
-            let pred = self.forward(&x, false)?;
+            let pred = self.forward_infer(&x)?;
             let (loss, _) = loss_fn.loss_and_grad(&pred, &y);
             loss_sum += loss * idx.len() as f64;
             correct += count_argmax_matches(&pred, &y);
@@ -627,6 +651,40 @@ mod tests {
         assert!((model.optimizer().unwrap().learning_rate() - base).abs() < 1e-9);
         // Warmup training still learns.
         assert!(h.final_loss().unwrap() < h.epochs()[0].loss);
+    }
+
+    #[test]
+    fn predict_is_immutable_and_matches_training_path() {
+        use crate::Dropout;
+        let data = toy_classification(60, 70);
+        let mut model = mlp(71);
+        // Insert dropout to prove the inference path ignores it without
+        // touching its RNG stream.
+        model.add(Box::new(Dropout::new(0.5, xrng::seeded(72))));
+        let config = FitConfig {
+            epochs: 2,
+            batch_size: 20,
+            ..Default::default()
+        };
+        model.fit(&data, &config, &mut NoSync).unwrap();
+        let x = Tensor::from_fn([7, 2], |i| (i as f32) * 0.1 - 0.5);
+        let via_shared = model.predict(&x).unwrap();
+        let via_training_path = model.predict_mut(&x).unwrap();
+        assert_eq!(via_shared.data(), via_training_path.data());
+        // Repeated shared predictions are stable (no hidden state moves).
+        assert_eq!(model.predict(&x).unwrap().data(), via_shared.data());
+        // And the model is shareable across threads.
+        let shared = std::sync::Arc::new(model);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&shared);
+                let x = x.clone();
+                std::thread::spawn(move || m.predict(&x).unwrap().into_vec())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), via_shared.data());
+        }
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! The serving engine: bounded submission, dynamic micro-batching and
+//! pooled batch execution.
+//!
+//! Data path: [`ServeHandle::submit`] reserves an in-flight slot (or sheds
+//! with [`ServeError::Overloaded`]) and enqueues the request; a dedicated
+//! batcher thread coalesces the queue into batches that flush on
+//! `max_batch` or `max_wait`, whichever comes first; each batch runs one
+//! forward pass on a [`parx::WorkerPool`] worker against the shared
+//! immutable model replica and answers every request in the batch through
+//! its one-shot reply channel. The in-flight slot is released when the
+//! reply is sent, so the capacity bound covers queued *and* executing
+//! requests — memory is bounded end to end.
+
+use crate::stats::StatsInner;
+use crate::{ServeError, ServeReport};
+use collectives::Timeline;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dlframe::Sequential;
+use parx::WorkerPool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+/// How often the idle batcher wakes to check for shutdown.
+const IDLE_TICK: Duration = Duration::from_millis(10);
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum rows coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Maximum time the batcher holds an open batch waiting for more
+    /// rows. An idle server adds at most this much latency.
+    pub max_wait: Duration,
+    /// Maximum in-flight requests (queued + executing). Submissions
+    /// beyond this are shed with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads running batched forward passes.
+    pub workers: usize,
+    /// Optional per-request latency target; completed requests slower
+    /// than this are counted in [`ServeReport::slo_violations`].
+    pub slo: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+            slo: None,
+        }
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The model's output row for this request.
+    pub output: Vec<f32>,
+    /// Rows in the batch this request was served in.
+    pub batch_size: usize,
+    /// Time spent queued before batch dispatch.
+    pub enqueue_wait: Duration,
+    /// End-to-end submit → reply latency.
+    pub latency: Duration,
+}
+
+/// A pending request's receipt; resolves via [`Ticket::wait`].
+pub struct Ticket {
+    rx: Receiver<Result<Prediction, ServeError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the prediction (or its error) arrives. Returns
+    /// [`ServeError::ShuttingDown`] if the engine stopped before
+    /// answering.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+}
+
+/// One queued inference request.
+struct Request {
+    features: Vec<f32>,
+    enqueued: Instant,
+    reply: Sender<Result<Prediction, ServeError>>,
+}
+
+/// Shared state the batcher and workers need per batch.
+struct Ctx {
+    model: Arc<Sequential>,
+    stats: Arc<StatsInner>,
+    depth: Arc<AtomicUsize>,
+    timeline: Option<Timeline>,
+    origin: Instant,
+    slo: Option<Duration>,
+}
+
+/// The submitting half of the engine; cheap to clone, one per client.
+pub struct ServeHandle {
+    tx: Sender<Request>,
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
+    stopping: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+}
+
+impl Clone for ServeHandle {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
+            capacity: self.capacity,
+            stopping: Arc::clone(&self.stopping),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl ServeHandle {
+    /// Submits one feature row for prediction, failing fast when the
+    /// engine is at capacity ([`ServeError::Overloaded`]) or stopping.
+    pub fn submit(&self, features: Vec<f32>) -> Result<Ticket, ServeError> {
+        if self.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Reserve an in-flight slot before enqueueing; the slot is
+        // released by the worker when the reply is sent.
+        let depth = self.depth.fetch_add(1, Ordering::AcqRel);
+        if depth >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                depth,
+                capacity: self.capacity,
+            });
+        }
+        let (reply, rx) = unbounded();
+        let req = Request {
+            features,
+            enqueued: Instant::now(),
+            reply,
+        };
+        if self.tx.send(req).is_err() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait convenience for closed-loop clients.
+    pub fn predict(&self, features: Vec<f32>) -> Result<Prediction, ServeError> {
+        self.submit(features)?.wait()
+    }
+
+    /// Current in-flight depth (queued + executing).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Configured in-flight capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A running serving engine; dropping or [`ServeEngine::shutdown`] stops it.
+pub struct ServeEngine {
+    handle: ServeHandle,
+    stopping: Arc<AtomicBool>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+    stats: Arc<StatsInner>,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Starts serving `model` with `config`.
+    ///
+    /// # Panics
+    /// Panics if `max_batch`, `queue_capacity` or `workers` is zero.
+    pub fn start(model: Arc<Sequential>, config: ServeConfig) -> Self {
+        Self::build(model, config, None)
+    }
+
+    /// Starts serving with batch spans (`enqueue_wait`, `batch_forward`)
+    /// recorded to `timeline` for `chrome://tracing` inspection.
+    pub fn with_timeline(model: Arc<Sequential>, config: ServeConfig, timeline: Timeline) -> Self {
+        Self::build(model, config, Some(timeline))
+    }
+
+    fn build(model: Arc<Sequential>, config: ServeConfig, timeline: Option<Timeline>) -> Self {
+        assert!(config.max_batch >= 1, "serve: max_batch must be positive");
+        assert!(
+            config.queue_capacity >= 1,
+            "serve: queue_capacity must be positive"
+        );
+        assert!(config.workers >= 1, "serve: workers must be positive");
+        let (tx, rx) = unbounded::<Request>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let stats = Arc::new(StatsInner::new());
+        let stopping = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(WorkerPool::new(config.workers));
+        let ctx = Arc::new(Ctx {
+            model,
+            stats: Arc::clone(&stats),
+            depth: Arc::clone(&depth),
+            timeline,
+            origin: Instant::now(),
+            slo: config.slo,
+        });
+        let batcher = {
+            let pool = Arc::clone(&pool);
+            let stopping = Arc::clone(&stopping);
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || batcher_loop(rx, ctx, pool, stopping, cfg))
+                .expect("failed to spawn serve batcher")
+        };
+        let handle = ServeHandle {
+            tx,
+            depth,
+            capacity: config.queue_capacity,
+            stopping: Arc::clone(&stopping),
+            stats: Arc::clone(&stats),
+        };
+        Self {
+            handle,
+            stopping,
+            batcher: Some(batcher),
+            pool,
+            stats,
+            started: Instant::now(),
+        }
+    }
+
+    /// Returns a new submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshot of serving stats so far.
+    pub fn report(&self) -> ServeReport {
+        self.stats.report(self.started.elapsed().as_secs_f64())
+    }
+
+    /// Stops accepting requests, drains the queue, waits for in-flight
+    /// batches and returns the final stats.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop_and_join();
+        self.stats.report(self.started.elapsed().as_secs_f64())
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        self.pool.join();
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The micro-batcher: pulls the queue into batches and hands them to the
+/// worker pool.
+fn batcher_loop(
+    rx: Receiver<Request>,
+    ctx: Arc<Ctx>,
+    pool: Arc<WorkerPool>,
+    stopping: Arc<AtomicBool>,
+    cfg: ServeConfig,
+) {
+    loop {
+        match rx.recv_timeout(IDLE_TICK) {
+            Ok(first) => {
+                let batch = collect_batch(&rx, first, &cfg);
+                dispatch(batch, &ctx, &pool);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stopping.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+    // Graceful drain: answer everything already queued at shutdown.
+    while let Ok(first) = rx.try_recv() {
+        let mut batch = vec![first];
+        while batch.len() < cfg.max_batch {
+            match rx.try_recv() {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        dispatch(batch, &ctx, &pool);
+    }
+}
+
+/// Fills a batch starting from `first`: flush on `max_batch` rows or
+/// `max_wait` elapsed, whichever comes first.
+fn collect_batch(rx: &Receiver<Request>, first: Request, cfg: &ServeConfig) -> Vec<Request> {
+    let mut batch = Vec::with_capacity(cfg.max_batch.min(64));
+    batch.push(first);
+    if cfg.max_batch > 1 {
+        let deadline = Instant::now() + cfg.max_wait;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+    }
+    batch
+}
+
+/// Hands one batch to the pool.
+fn dispatch(batch: Vec<Request>, ctx: &Arc<Ctx>, pool: &WorkerPool) {
+    let ctx = Arc::clone(ctx);
+    pool.submit(move || run_batch(batch, &ctx));
+}
+
+/// Executes one batch on a worker thread: assemble rows, one forward
+/// pass, scatter replies, record stats and timeline spans.
+fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
+    let dispatched = Instant::now();
+    // All rows in a batch must share the first row's width; stragglers
+    // are answered individually so they cannot poison the forward pass.
+    let width = batch[0].features.len();
+    let mut valid = Vec::with_capacity(batch.len());
+    for r in batch {
+        if r.features.len() == width {
+            valid.push(r);
+        } else {
+            let msg = format!(
+                "feature width {} differs from batch width {width}",
+                r.features.len()
+            );
+            finish(r, Err(ServeError::BadRequest(msg)), ctx);
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+    let n = valid.len();
+    let mut data = Vec::with_capacity(n * width);
+    for r in &valid {
+        data.extend_from_slice(&r.features);
+    }
+    let x = Tensor::from_vec([n, width], data).expect("batch assembly is shape-exact");
+    let forward_start = Instant::now();
+    let result = ctx.model.predict(&x);
+    let forward = forward_start.elapsed();
+    ctx.stats.record_batch(forward);
+    if let Some(tl) = &ctx.timeline {
+        let rank = worker_rank();
+        let earliest = valid
+            .iter()
+            .map(|r| r.enqueued)
+            .min()
+            .expect("batch is non-empty");
+        tl.record(
+            "enqueue_wait",
+            rank,
+            micros_since(ctx.origin, earliest),
+            (dispatched - earliest).as_micros() as u64,
+        );
+        tl.record(
+            "batch_forward",
+            rank,
+            micros_since(ctx.origin, forward_start),
+            forward.as_micros() as u64,
+        );
+    }
+    match result {
+        Ok(out) => {
+            let out_width = out.len() / n;
+            for (i, r) in valid.into_iter().enumerate() {
+                let wait = dispatched - r.enqueued;
+                let latency = r.enqueued.elapsed();
+                ctx.stats.record_request(wait, latency, ctx.slo);
+                let row = out.data()[i * out_width..(i + 1) * out_width].to_vec();
+                finish(
+                    r,
+                    Ok(Prediction {
+                        output: row,
+                        batch_size: n,
+                        enqueue_wait: wait,
+                        latency,
+                    }),
+                    ctx,
+                );
+            }
+        }
+        Err(e) => {
+            for r in valid {
+                finish(r, Err(ServeError::Model(e.clone())), ctx);
+            }
+        }
+    }
+}
+
+/// Sends a reply and releases the request's in-flight slot. The send can
+/// fail only if the client dropped its ticket; the slot is released
+/// either way.
+fn finish(r: Request, result: Result<Prediction, ServeError>, ctx: &Ctx) {
+    let _ = r.reply.send(result);
+    ctx.depth.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Timeline lane for the current pool worker, parsed from the
+/// `parx-worker-N` thread name (0 if unnamed).
+fn worker_rank() -> usize {
+    std::thread::current()
+        .name()
+        .and_then(|n| n.rsplit('-').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Microseconds from `origin` to `t`, saturating at 0.
+fn micros_since(origin: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(origin).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlframe::{Activation, Dense, Loss, Optimizer};
+
+    /// A small deterministic MLP (untrained weights are fine: inference
+    /// is a pure function of the weights).
+    fn model(seed: u64, in_dim: usize, out_dim: usize) -> Arc<Sequential> {
+        let mut rng = xrng::seeded(seed);
+        let mut m = Sequential::new(seed);
+        m.add(Box::new(Dense::new(in_dim, 32, Activation::Relu, &mut rng)));
+        m.add(Box::new(Dense::new(32, out_dim, Activation::Linear, &mut rng)));
+        m.compile(Loss::SoftmaxCrossEntropy, Optimizer::sgd(0.1));
+        Arc::new(m)
+    }
+
+    fn row(i: usize, width: usize) -> Vec<f32> {
+        (0..width).map(|j| ((i * width + j) % 13) as f32 * 0.1).collect()
+    }
+
+    #[test]
+    fn serves_correct_predictions() {
+        let m = model(1, 8, 3);
+        let engine = ServeEngine::start(Arc::clone(&m), ServeConfig::default());
+        let handle = engine.handle();
+        for i in 0..20 {
+            let p = handle.predict(row(i, 8)).unwrap();
+            let direct = m
+                .predict(&Tensor::from_vec([1, 8], row(i, 8)).unwrap())
+                .unwrap();
+            assert_eq!(p.output, direct.data(), "request {i}");
+            assert!(p.batch_size >= 1);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.shed, 0);
+        assert!(report.batches >= 1 && report.batches <= 20);
+        assert_eq!(report.latency.count, 20);
+    }
+
+    #[test]
+    fn batch_one_config_never_coalesces() {
+        let m = model(2, 4, 2);
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 1,
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..16).map(|i| handle.submit(row(i, 4)).unwrap()).collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().batch_size, 1);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.batches, 16);
+        assert_eq!(report.mean_batch, 1.0);
+    }
+
+    #[test]
+    fn dynamic_batching_coalesces_queued_requests() {
+        let m = model(3, 6, 2);
+        // One worker and a generous flush window: a burst submitted while
+        // the queue is held open must coalesce.
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 32,
+                max_wait: Duration::from_millis(50),
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..32).map(|i| handle.submit(row(i, 6)).unwrap()).collect();
+        let mut max_seen = 0;
+        for t in tickets {
+            max_seen = max_seen.max(t.wait().unwrap().batch_size);
+        }
+        assert!(max_seen > 1, "no coalescing observed (max batch {max_seen})");
+        let report = engine.shutdown();
+        assert!(report.mean_batch > 1.0);
+        assert!(report.batches < 32);
+    }
+
+    #[test]
+    fn overload_sheds_fast_without_deadlock() {
+        let m = model(4, 4, 2);
+        // Hold the batcher's first batch open so admitted requests stay
+        // in flight, then overflow the capacity.
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(600),
+                queue_capacity: 4,
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..4).map(|i| handle.submit(row(i, 4)).unwrap()).collect();
+        // Queue is at the watermark: further submissions shed immediately.
+        for i in 4..8 {
+            match handle.submit(row(i, 4)) {
+                Err(ServeError::Overloaded { depth, capacity }) => {
+                    assert_eq!(capacity, 4);
+                    assert!(depth >= 4);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        // Admitted requests still complete after the flush window.
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.shed, 4);
+    }
+
+    #[test]
+    fn mismatched_width_rejected_individually() {
+        let m = model(5, 8, 2);
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let good = handle.submit(row(0, 8)).unwrap();
+        let bad = handle.submit(row(1, 5)).unwrap();
+        assert!(good.wait().is_ok());
+        assert!(matches!(bad.wait(), Err(ServeError::BadRequest(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions_and_drains_queue() {
+        let m = model(6, 4, 2);
+        let engine = ServeEngine::start(
+            Arc::clone(&m),
+            ServeConfig {
+                max_batch: 4,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..8).map(|i| handle.submit(row(i, 4)).unwrap()).collect();
+        let report = engine.shutdown();
+        // Every admitted request was answered before shutdown returned.
+        assert_eq!(report.completed, 8);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert!(matches!(
+            handle.submit(row(9, 4)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn timeline_records_batch_spans() {
+        let m = model(7, 4, 2);
+        let tl = Timeline::new();
+        let engine = ServeEngine::with_timeline(m, ServeConfig::default(), tl.clone());
+        let handle = engine.handle();
+        for i in 0..6 {
+            handle.predict(row(i, 4)).unwrap();
+        }
+        engine.shutdown();
+        let events = tl.events();
+        assert!(events.iter().any(|e| e.name == "enqueue_wait"));
+        assert!(events.iter().any(|e| e.name == "batch_forward"));
+        // Spans pair up: one wait span per forward span.
+        assert_eq!(
+            events.iter().filter(|e| e.name == "enqueue_wait").count(),
+            events.iter().filter(|e| e.name == "batch_forward").count()
+        );
+        let json = tl.to_chrome_trace();
+        assert!(json.contains("batch_forward"));
+    }
+
+    #[test]
+    fn slo_violations_counted() {
+        let m = model(8, 4, 2);
+        // Zero-duration SLO: every completed request violates it.
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                slo: Some(Duration::from_secs(0)),
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        for i in 0..5 {
+            handle.predict(row(i, 4)).unwrap();
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.slo_violations, 5);
+        assert_eq!(report.slo_attainment(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_max_batch_panics() {
+        let m = model(9, 4, 2);
+        ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

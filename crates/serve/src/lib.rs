@@ -1,0 +1,92 @@
+//! `serve` — a batched inference serving engine for trained
+//! [`dlframe::Sequential`] models.
+//!
+//! The paper's central lesson is that end-to-end performance is set by the
+//! pipeline *around* the model (its §4–5 attribute most CANDLE runtime to
+//! `read_csv`, not training math). Serving has the same shape: a single
+//! request's forward pass is cheap, so throughput is determined by how
+//! requests are queued, coalesced and dispatched. This crate provides that
+//! pipeline:
+//!
+//! * a **bounded submission queue** — [`ServeHandle::submit`] fails fast
+//!   with [`ServeError::Overloaded`] once the number of in-flight requests
+//!   reaches the configured capacity (load shedding instead of unbounded
+//!   memory growth and collapse);
+//! * a **dynamic micro-batcher** — requests are coalesced into batches
+//!   that flush on `max_batch` *or* `max_wait`, whichever comes first, so
+//!   a loaded server amortizes per-forward overhead while an idle server
+//!   adds at most `max_wait` latency;
+//! * a **`parx`-pooled worker set** — batched forward passes run on
+//!   shared, immutable model replicas (`Arc<Sequential>`, enabled by
+//!   `dlframe`'s `predict(&self)` inference path), so no weight copies and
+//!   no locks on the hot path;
+//! * **latency SLO instrumentation** — per-request end-to-end latency,
+//!   per-request queue wait and per-batch forward time are recorded into
+//!   [`simcore::LogHistogram`]s (p50/p95/p99/max) together with an
+//!   optional SLO violation counter;
+//! * **timeline integration** — each batch emits `enqueue_wait` and
+//!   `batch_forward` spans to a [`collectives::Timeline`], viewable in
+//!   `chrome://tracing` exactly like the training-side traces;
+//! * a **deterministic load generator** — closed-loop and open-loop
+//!   drivers seeded from `xrng`, with an order-independent output hash so
+//!   tests can assert served predictions are bit-identical across batch
+//!   sizes and worker counts.
+//!
+//! Everything in the batch path preserves bit-exactness: `tensor`'s
+//! matmul accumulates each output row independently of the batch's other
+//! rows, so a row served in a 16-row batch equals the same row served
+//! alone, which equals a direct [`dlframe::Sequential::predict`] call.
+
+mod engine;
+mod loadgen;
+mod stats;
+
+pub use engine::{Prediction, ServeConfig, ServeEngine, ServeHandle, Ticket};
+pub use loadgen::{
+    request_row, run_closed_loop, run_open_loop, ClosedLoopConfig, LoadReport, OpenLoopConfig,
+};
+pub use stats::{LatencySummary, ServeReport};
+
+use dlframe::DlError;
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is at capacity; the request was shed
+    /// without being enqueued. Clients may retry after backoff.
+    Overloaded {
+        /// In-flight depth observed at rejection time.
+        depth: usize,
+        /// Configured in-flight capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down (or has shut down) and no longer
+    /// accepts or answers requests.
+    ShuttingDown,
+    /// The request was malformed (e.g. feature width differs from the
+    /// rest of its batch's — and therefore the model's — input width).
+    BadRequest(String),
+    /// The model rejected the batched forward pass.
+    Model(DlError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: {depth} in-flight requests (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DlError> for ServeError {
+    fn from(e: DlError) -> Self {
+        ServeError::Model(e)
+    }
+}

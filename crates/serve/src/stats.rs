@@ -1,0 +1,215 @@
+//! Serving statistics: lock-free counters plus histogram-backed latency
+//! summaries.
+
+use parking_lot::Mutex;
+use simcore::LogHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared mutable recording state. Counters are atomics (workers bump
+/// them per request); histograms sit behind short-lived mutexes that are
+/// taken once per request or batch, far off the matmul critical path.
+pub(crate) struct StatsInner {
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub batches: AtomicU64,
+    pub slo_violations: AtomicU64,
+    pub latency: Mutex<LogHistogram>,
+    pub wait: Mutex<LogHistogram>,
+    pub forward: Mutex<LogHistogram>,
+}
+
+impl StatsInner {
+    pub fn new() -> Self {
+        Self {
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            slo_violations: AtomicU64::new(0),
+            latency: Mutex::new(LogHistogram::for_latency_seconds()),
+            wait: Mutex::new(LogHistogram::for_latency_seconds()),
+            forward: Mutex::new(LogHistogram::for_latency_seconds()),
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, wait: Duration, latency: Duration, slo: Option<Duration>) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if slo.is_some_and(|target| latency > target) {
+            self.slo_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.wait.lock().record(wait.as_secs_f64());
+        self.latency.lock().record(latency.as_secs_f64());
+    }
+
+    /// Records one dispatched batch's forward time.
+    pub fn record_batch(&self, forward: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.forward.lock().record(forward.as_secs_f64());
+    }
+
+    /// Snapshot over `elapsed_s` seconds of serving.
+    pub fn report(&self, elapsed_s: f64) -> ServeReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        ServeReport {
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            batches,
+            slo_violations: self.slo_violations.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            elapsed_s,
+            throughput_rps: if elapsed_s > 0.0 {
+                completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_histogram(&self.latency.lock()),
+            enqueue_wait: LatencySummary::from_histogram(&self.wait.lock()),
+            batch_forward: LatencySummary::from_histogram(&self.forward.lock()),
+        }
+    }
+}
+
+/// Quantile summary of one latency histogram, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact mean.
+    pub mean_s: f64,
+    /// Median (within histogram bucket error).
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Exact maximum.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn from_histogram(h: &LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean_s: h.mean(),
+            p50_s: h.quantile(0.50),
+            p95_s: h.quantile(0.95),
+            p99_s: h.quantile(0.99),
+            max_s: h.max(),
+        }
+    }
+
+    /// Renders as `p50/p95/p99/max` milliseconds.
+    pub fn to_millis_string(&self) -> String {
+        format!(
+            "{:.2}/{:.2}/{:.2}/{:.2} ms",
+            self.p50_s * 1e3,
+            self.p95_s * 1e3,
+            self.p99_s * 1e3,
+            self.max_s * 1e3
+        )
+    }
+}
+
+/// A point-in-time summary of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests rejected at the queue watermark ([`crate::ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Completed requests whose end-to-end latency exceeded the SLO
+    /// target (0 when no SLO is configured).
+    pub slo_violations: u64,
+    /// Mean rows per dispatched batch.
+    pub mean_batch: f64,
+    /// Serving wall-clock covered by this report, seconds.
+    pub elapsed_s: f64,
+    /// Completed requests per second over `elapsed_s`.
+    pub throughput_rps: f64,
+    /// End-to-end (submit → reply) per-request latency.
+    pub latency: LatencySummary,
+    /// Per-request time spent queued before batch dispatch.
+    pub enqueue_wait: LatencySummary,
+    /// Per-batch forward-pass time.
+    pub batch_forward: LatencySummary,
+}
+
+impl ServeReport {
+    /// Fraction of completed requests that met the SLO (1.0 when no SLO
+    /// was configured or nothing completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            1.0 - self.slo_violations as f64 / self.completed as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "completed {} | shed {} | batches {} (mean {:.2} rows) | {:.0} req/s",
+            self.completed, self.shed, self.batches, self.mean_batch, self.throughput_rps
+        )?;
+        writeln!(f, "latency  p50/p95/p99/max: {}", self.latency.to_millis_string())?;
+        writeln!(
+            f,
+            "queue    p50/p95/p99/max: {}",
+            self.enqueue_wait.to_millis_string()
+        )?;
+        write!(
+            f,
+            "forward  p50/p95/p99/max: {} | SLO attainment {:.1}%",
+            self.batch_forward.to_millis_string(),
+            self.slo_attainment() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ratios() {
+        let inner = StatsInner::new();
+        inner.record_batch(Duration::from_millis(4));
+        for _ in 0..8 {
+            inner.record_request(
+                Duration::from_millis(1),
+                Duration::from_millis(5),
+                Some(Duration::from_millis(3)),
+            );
+        }
+        let r = inner.report(2.0);
+        assert_eq!(r.completed, 8);
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.mean_batch, 8.0);
+        assert_eq!(r.throughput_rps, 4.0);
+        assert_eq!(r.slo_violations, 8);
+        assert_eq!(r.slo_attainment(), 0.0);
+        assert_eq!(r.latency.count, 8);
+        assert!(r.latency.max_s >= 0.005 - 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = StatsInner::new().report(0.0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.mean_batch, 0.0);
+        assert_eq!(r.slo_attainment(), 1.0);
+        assert!(r.to_string().contains("completed 0"));
+    }
+}

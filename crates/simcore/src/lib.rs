@@ -9,14 +9,19 @@
 //!   by insertion order, so runs are reproducible);
 //! * [`FifoResource`] — a capacity-`c` FIFO server for queueing models;
 //! * [`TimeSeries`] — a step-function series with trapezoid-free exact
-//!   integration, used for power traces and energy accounting.
+//!   integration, used for power traces and energy accounting;
+//! * [`LogHistogram`] — a log-bucketed histogram with bounded relative
+//!   quantile error, shared by the trace analysis and the `serve` crate's
+//!   latency instrumentation.
 
 mod engine;
+mod hist;
 mod resource;
 mod series;
 mod time;
 
 pub use engine::{Engine, EventQueue};
+pub use hist::LogHistogram;
 pub use resource::FifoResource;
 pub use series::TimeSeries;
 pub use time::SimTime;

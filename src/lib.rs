@@ -5,6 +5,7 @@ pub use collectives;
 pub use dataio;
 pub use dlframe;
 pub use experiments;
+pub use serve;
 pub use simcore;
 pub use tensor;
 pub use xrng;
