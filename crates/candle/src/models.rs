@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn nt3_forward_shape() {
-        let (mut m, loss) = build_model(Bench::Nt3, 64, 0.001, 1);
+        let (m, loss) = build_model(Bench::Nt3, 64, 0.001, 1);
         assert_eq!(loss, Loss::SoftmaxCrossEntropy);
         let y = m.predict(&Tensor::zeros([3, 64])).unwrap();
         assert_eq!(y.shape().dims(), &[3, 2]);
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn p1b1_reconstructs_input_dim() {
-        let (mut m, loss) = build_model(Bench::P1b1, 48, 0.001, 2);
+        let (m, loss) = build_model(Bench::P1b1, 48, 0.001, 2);
         assert_eq!(loss, Loss::MeanSquaredError);
         let y = m.predict(&Tensor::zeros([2, 48])).unwrap();
         assert_eq!(y.shape().dims(), &[2, 48]);
@@ -141,14 +141,14 @@ mod tests {
 
     #[test]
     fn p1b2_outputs_ten_classes() {
-        let (mut m, _) = build_model(Bench::P1b2, 40, 0.001, 3);
+        let (m, _) = build_model(Bench::P1b2, 40, 0.001, 3);
         let y = m.predict(&Tensor::zeros([5, 40])).unwrap();
         assert_eq!(y.shape().dims(), &[5, 10]);
     }
 
     #[test]
     fn p1b3_outputs_bounded_growth() {
-        let (mut m, _) = build_model(Bench::P1b3, 20, 0.001, 4);
+        let (m, _) = build_model(Bench::P1b3, 20, 0.001, 4);
         let y = m.predict(&Tensor::zeros([4, 20])).unwrap();
         assert_eq!(y.shape().dims(), &[4, 1]);
         for &v in y.data() {

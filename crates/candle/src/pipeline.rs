@@ -148,6 +148,20 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// Builds the model exactly as rank `rank` of [`run_parallel`] does:
+/// linear learning-rate scaling by the worker count, then the per-rank
+/// initialization seed `derive_seed(spec.seed, 100 + rank)` (Horovod:
+/// every worker random-inits before rank 0 wins via broadcast).
+///
+/// Extracted so external drivers — the `resil` recovery driver in
+/// particular — can construct bit-identical replicas of the pipeline's
+/// workers and resume them from a checkpoint.
+pub fn build_rank_model(spec: &ParallelRunSpec, rank: usize) -> dlframe::Sequential {
+    let lr = scaled_lr(spec.base_lr, spec.workers);
+    let init_seed = xrng::derive_seed(spec.seed, 100 + rank as u64);
+    build_model(spec.bench, spec.data.features, lr, init_seed).0
+}
+
 /// Runs the benchmark with `spec.workers` simulated Horovod workers.
 pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, PipelineError> {
     let epochs_per_worker = match spec.scaling {
@@ -210,7 +224,6 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
     };
     let train = Arc::new(full_train);
     let test = Arc::new(test);
-    let lr = scaled_lr(spec.base_lr, spec.workers);
     let timeline = spec.record_timeline.then(Timeline::new);
     let origin = Instant::now();
 
@@ -226,10 +239,7 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
     let per_rank: Vec<Result<RankResult, String>> = run_workers(spec.workers, move |comm| {
         let rank = comm.rank();
         let mut rank_profile = PhaseProfiler::new();
-        // Per-rank initialization seed (Horovod: every worker random-inits,
-        // then rank 0 wins via broadcast).
-        let init_seed = xrng::derive_seed(spec2.seed, 100 + rank as u64);
-        let (mut model, _loss) = build_model(spec2.bench, spec2.data.features, lr, init_seed);
+        let mut model = build_rank_model(&spec2, rank);
         // BroadcastGlobalVariablesHook(0).
         let bc_start = Instant::now();
         let mut params = model.flat_params();

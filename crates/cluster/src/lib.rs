@@ -35,4 +35,6 @@ pub use comm::{CommModel, NcclVersion};
 pub use io::{contention_factor, load_seconds, LoadMethod};
 pub use machine::{Machine, MachineSpec, PowerState};
 pub use power::{build_power_trace, PowerSummary};
-pub use run::{RunConfig, RunError, RunPhase, RunReport, ScalingMode, WorkloadProfile};
+pub use run::{
+    RecoveryCost, RunConfig, RunError, RunPhase, RunReport, ScalingMode, WorkloadProfile,
+};

@@ -165,6 +165,138 @@ impl RunReport {
     pub fn energy_saving_pct(&self, baseline: &RunReport) -> f64 {
         (baseline.power.energy_j - self.power.energy_j) / baseline.power.energy_j * 100.0
     }
+
+    /// Per-device energy spent between two times of the run (joules),
+    /// from the exact step-function power trace.
+    pub fn energy_between_s(&self, t0: f64, t1: f64) -> f64 {
+        use simcore::SimTime;
+        self.power.trace.integral(SimTime::new(t0), SimTime::new(t1))
+    }
+
+    /// Models the cost of a worker crash at epoch `fail_epoch`, comparing
+    /// restart-from-scratch against resume-from-checkpoint (checkpoints
+    /// written every `checkpoint_every` epochs, each costing
+    /// `checkpoint_write_s` at the machine's data-load power level).
+    ///
+    /// This is the Summit-scale counterpart of the measured recovery runs
+    /// in `experiments::table_resil`: the paper's energy analysis counts
+    /// every joule of a multi-hour run, so a failure near the end that
+    /// forces a full restart nearly doubles the bill, while a resume only
+    /// re-pays the re-join overhead plus the epochs since the last
+    /// checkpoint.
+    ///
+    /// # Panics
+    /// Panics if `checkpoint_every == 0` or `fail_epoch` exceeds the
+    /// epochs this run executes per worker.
+    pub fn failure_recovery(
+        &self,
+        fail_epoch: usize,
+        checkpoint_every: usize,
+        checkpoint_write_s: f64,
+    ) -> RecoveryCost {
+        assert!(checkpoint_every > 0, "checkpoint interval must be positive");
+        assert!(
+            fail_epoch <= self.epochs_per_worker,
+            "fail epoch {fail_epoch} beyond {} epochs",
+            self.epochs_per_worker
+        );
+        let train_phase = self
+            .phases
+            .iter()
+            .find(|p| p.name == "training")
+            .expect("run has a training phase");
+        let train_start_s = train_phase.start_s;
+        let train_end_s = train_phase.start_s + train_phase.duration_s;
+        let fail_time_s = train_start_s + fail_epoch as f64 * self.time_per_epoch_s;
+        let energy_to_fail_j = self.energy_between_s(0.0, fail_time_s);
+        let pre_train_energy_j = self.energy_between_s(0.0, train_start_s);
+        let tail_s = self.total_s - train_end_s;
+        let tail_energy_j = self.energy_between_s(train_end_s, self.total_s);
+        let epoch_energy_j = if self.epochs_per_worker > 0 {
+            self.energy_between_s(train_start_s, train_end_s) / self.epochs_per_worker as f64
+        } else {
+            0.0
+        };
+
+        let last_checkpoint_epoch = fail_epoch - fail_epoch % checkpoint_every;
+        let redone_epochs = fail_epoch - last_checkpoint_epoch;
+        // Writes in the failed segment plus in the resumed segment.
+        let checkpoint_writes = fail_epoch / checkpoint_every
+            + (self.epochs_per_worker - last_checkpoint_epoch) / checkpoint_every;
+        let checkpoint_overhead_s = checkpoint_writes as f64 * checkpoint_write_s;
+        let ckpt_power_w = self.config.machine.spec().power.data_load_w;
+        let checkpoint_energy_j = checkpoint_overhead_s * ckpt_power_w;
+
+        // Restart from scratch: everything up to the failure is wasted,
+        // then the entire run is paid again (no checkpoint writes).
+        let restart_total_s = fail_time_s + self.total_s;
+        let restart_energy_j = energy_to_fail_j + self.power.energy_j;
+
+        // Resume from checkpoint: pay the failed segment, re-join
+        // (startup + data loading + broadcast), the epochs since the last
+        // checkpoint plus the remaining epochs, the tail (evaluation), and
+        // all checkpoint writes.
+        let resumed_epochs = self.epochs_per_worker - last_checkpoint_epoch;
+        let resume_total_s = fail_time_s
+            + train_start_s
+            + resumed_epochs as f64 * self.time_per_epoch_s
+            + tail_s
+            + checkpoint_overhead_s;
+        let resume_energy_j = energy_to_fail_j
+            + pre_train_energy_j
+            + resumed_epochs as f64 * epoch_energy_j
+            + tail_energy_j
+            + checkpoint_energy_j;
+
+        RecoveryCost {
+            fail_epoch,
+            last_checkpoint_epoch,
+            redone_epochs,
+            checkpoint_writes,
+            checkpoint_overhead_s,
+            restart_total_s,
+            restart_energy_j,
+            resume_total_s,
+            resume_energy_j,
+        }
+    }
+}
+
+/// Modelled cost of one crash-and-recover, from
+/// [`RunReport::failure_recovery`]. Time and energy are per device;
+/// multiply energy by the worker count for the cluster-level bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryCost {
+    /// Epoch at which the crash hits (epochs completed before it).
+    pub fail_epoch: usize,
+    /// Last epoch with a durable checkpoint.
+    pub last_checkpoint_epoch: usize,
+    /// Epochs of work re-done when resuming (fail − last checkpoint).
+    pub redone_epochs: usize,
+    /// Total checkpoint writes across failed + resumed segments.
+    pub checkpoint_writes: usize,
+    /// Total time spent writing checkpoints, seconds.
+    pub checkpoint_overhead_s: f64,
+    /// Wall time of crash + restart-from-scratch, seconds.
+    pub restart_total_s: f64,
+    /// Per-device energy of crash + restart-from-scratch, joules.
+    pub restart_energy_j: f64,
+    /// Wall time of crash + resume-from-checkpoint, seconds.
+    pub resume_total_s: f64,
+    /// Per-device energy of crash + resume-from-checkpoint, joules.
+    pub resume_energy_j: f64,
+}
+
+impl RecoveryCost {
+    /// Wall time saved by resuming instead of restarting, seconds.
+    pub fn saved_s(&self) -> f64 {
+        self.restart_total_s - self.resume_total_s
+    }
+
+    /// Per-device energy saved by resuming instead of restarting, joules.
+    pub fn saved_energy_j(&self) -> f64 {
+        self.restart_energy_j - self.resume_energy_j
+    }
 }
 
 /// Simulates one run.
@@ -383,6 +515,38 @@ mod tests {
         assert!((r.time_per_epoch_s - 10.3).abs() < 0.5);
         // Sequential run is dominated by training, not loading.
         assert!(r.train_s > r.data_load_s);
+    }
+
+    #[test]
+    fn failure_recovery_resume_beats_restart() {
+        let r = simulate(&nt3(), &summit_strong(24, LoadMethod::PandasDefault)).unwrap();
+        // Crash late in the run (epoch 14 of 16), checkpoints every 2
+        // epochs with a modest write cost.
+        let cost = r.failure_recovery(14, 2, 1.0);
+        assert_eq!(cost.last_checkpoint_epoch, 14);
+        assert_eq!(cost.redone_epochs, 0);
+        assert!(cost.resume_total_s < cost.restart_total_s);
+        assert!(cost.resume_energy_j < cost.restart_energy_j);
+        assert!(cost.saved_s() > 0.0);
+        assert!(cost.saved_energy_j() > 0.0);
+        // A mid-interval crash re-does exactly the epochs since the last
+        // checkpoint.
+        let odd = r.failure_recovery(13, 2, 1.0);
+        assert_eq!(odd.last_checkpoint_epoch, 12);
+        assert_eq!(odd.redone_epochs, 1);
+        // Later failures waste more under restart-from-scratch, widening
+        // the gap in favour of checkpointed resume.
+        let early = r.failure_recovery(4, 2, 1.0);
+        assert!(cost.saved_s() > early.saved_s());
+    }
+
+    #[test]
+    fn energy_between_sums_to_total() {
+        let r = simulate(&nt3(), &summit_strong(4, LoadMethod::PandasDefault)).unwrap();
+        let half = r.total_s / 2.0;
+        let a = r.energy_between_s(0.0, half);
+        let b = r.energy_between_s(half, r.total_s);
+        assert!((a + b - r.power.energy_j).abs() < 1e-6 * r.power.energy_j);
     }
 
     #[test]

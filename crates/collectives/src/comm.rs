@@ -55,6 +55,10 @@ pub struct Communicator {
     stats: CommStats,
     barrier: Arc<std::sync::Barrier>,
     barrier_generation: Arc<AtomicU64>,
+    /// Set once this endpoint survives an elastic [`Communicator::shrink`];
+    /// the shared barrier is still sized to the original world, so
+    /// [`Communicator::barrier`] is forbidden from then on.
+    shrunk: bool,
 }
 
 impl Communicator {
@@ -82,6 +86,7 @@ impl Communicator {
                 stats: CommStats::default(),
                 barrier: Arc::clone(&barrier),
                 barrier_generation: Arc::clone(&generation),
+                shrunk: false,
             })
             .collect()
     }
@@ -164,10 +169,79 @@ impl Communicator {
     }
 
     /// Blocks until every rank reaches the barrier.
+    ///
+    /// # Panics
+    /// Panics after an elastic [`Communicator::shrink`]: the underlying
+    /// barrier is still sized to the original world, so waiting on it from
+    /// a smaller world would deadlock.
     pub fn barrier(&mut self) {
+        assert!(
+            !self.shrunk,
+            "barrier is not usable after an elastic shrink"
+        );
         self.next_op();
         self.barrier.wait();
         self.barrier_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Elastically removes dead ranks from the world, consuming this
+    /// endpoint and returning the surviving world's endpoint — or `None`
+    /// if this rank is itself marked dead.
+    ///
+    /// Surviving ranks are renumbered densely in original-rank order (the
+    /// survivor with the lowest original rank becomes rank 0, and so on);
+    /// message routes to dead peers are dropped. All point-to-point
+    /// collectives (`allreduce_*`, `broadcast`, `allgather`) keep working
+    /// over the smaller world, and [`Communicator::allreduce_mean`] now
+    /// divides by the survivor count — exactly the gradient re-scaling an
+    /// elastic data-parallel run needs.
+    ///
+    /// **Contract:** every rank (including departing ones) must pass the
+    /// same `alive` mask and must be quiescent — all previously started
+    /// collectives completed on all ranks — so no stale message can alias
+    /// a renumbered source. [`Communicator::barrier`] is forbidden after
+    /// shrinking (the shared barrier is still sized to the original
+    /// world); it panics rather than deadlocking.
+    ///
+    /// # Panics
+    /// Panics if `alive` does not match the world size or marks nobody
+    /// alive.
+    pub fn shrink(mut self, alive: &[bool]) -> Option<Communicator> {
+        assert_eq!(
+            alive.len(),
+            self.size,
+            "alive mask length {} vs world size {}",
+            alive.len(),
+            self.size
+        );
+        let survivors = alive.iter().filter(|&&a| a).count();
+        assert!(survivors > 0, "elastic shrink needs at least one survivor");
+        if !alive[self.rank] {
+            return None;
+        }
+        let new_rank = alive[..self.rank].iter().filter(|&&a| a).count();
+        let senders = self
+            .senders
+            .iter()
+            .zip(alive)
+            .filter(|(_, &a)| a)
+            .map(|(s, _)| s.clone())
+            .collect();
+        // Quiescence means nothing useful is buffered; drop anything a
+        // dying rank managed to leave behind.
+        self.pending.clear();
+        Some(Communicator {
+            rank: new_rank,
+            size: survivors,
+            senders,
+            receiver: self.receiver,
+            pending: self.pending,
+            op_counter: self.op_counter,
+            stats: self.stats,
+            barrier: self.barrier,
+            barrier_generation: self.barrier_generation,
+            shrunk: true,
+        })
     }
 
     /// In-place average-allreduce using the ring algorithm (the default
@@ -414,6 +488,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shrink_renumbers_and_collectives_continue() {
+        use crate::world::run_workers_owned;
+        // World of 4; rank 2 "dies" after a first allreduce. Survivors
+        // shrink and the next allreduce_mean averages over 3 with dense
+        // ranks {0, 1, 2}.
+        let results = run_workers_owned(4, |mut comm| {
+            let mut data = vec![comm.rank() as f32; 2];
+            comm.allreduce_mean(&mut data).unwrap();
+            assert_eq!(data, vec![1.5, 1.5]); // (0+1+2+3)/4
+            let alive = [true, true, false, true];
+            let old_rank = comm.rank();
+            match comm.shrink(&alive) {
+                None => {
+                    assert_eq!(old_rank, 2);
+                    None
+                }
+                Some(mut small) => {
+                    assert_eq!(small.size(), 3);
+                    let mut data = vec![small.rank() as f32 * 10.0];
+                    small.allreduce_mean(&mut data).unwrap();
+                    Some((old_rank, small.rank(), data[0]))
+                }
+            }
+        });
+        let survivors: Vec<_> = results.into_iter().flatten().collect();
+        // Old ranks 0,1,3 became new ranks 0,1,2; mean of {0,10,20} = 10.
+        assert_eq!(survivors, vec![(0, 0, 10.0), (1, 1, 10.0), (3, 2, 10.0)]);
+    }
+
+    #[test]
+    fn shrink_world_broadcast_and_allgather_work() {
+        use crate::world::run_workers_owned;
+        let results = run_workers_owned(3, |comm| {
+            let alive = [true, false, true];
+            match comm.shrink(&alive) {
+                None => None,
+                Some(mut small) => {
+                    let mut data = if small.rank() == 0 {
+                        vec![7.0, 8.0]
+                    } else {
+                        vec![0.0; 2]
+                    };
+                    small.broadcast(0, &mut data).unwrap();
+                    let gathered = small.allgather(&[small.rank() as f32]).unwrap();
+                    Some((data, gathered))
+                }
+            }
+        });
+        let survivors: Vec<_> = results.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 2);
+        for (bcast, gathered) in survivors {
+            assert_eq!(bcast, vec![7.0, 8.0]);
+            assert_eq!(gathered, vec![0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not usable after an elastic shrink")]
+    fn barrier_after_shrink_panics() {
+        let world = Communicator::world(2);
+        let mut it = world.into_iter();
+        let c0 = it.next().unwrap();
+        let mut small = c0.shrink(&[true, false]).unwrap();
+        small.barrier();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn shrink_to_empty_world_panics() {
+        let world = Communicator::world(2);
+        let c0 = world.into_iter().next().unwrap();
+        let _ = c0.shrink(&[false, false]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use hierarchical::hierarchical_allreduce;
 pub use optimizer::DistributedOptimizer;
 pub use ring::{naive_allreduce, ring_allreduce};
 pub use timeline::{Timeline, TimelineEvent};
-pub use world::{broadcast_parameters, run_workers};
+pub use world::{broadcast_parameters, run_workers, run_workers_owned};
 
 /// Errors from collective operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

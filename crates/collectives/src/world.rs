@@ -32,6 +32,34 @@ where
     })
 }
 
+/// Like [`run_workers`], but hands each worker *ownership* of its
+/// communicator. Elastic-recovery workers need this: surviving an injected
+/// crash means consuming the endpoint through
+/// [`Communicator::shrink`](crate::Communicator::shrink) and continuing on
+/// the smaller world.
+///
+/// # Panics
+/// Propagates a panic if any worker panics.
+pub fn run_workers_owned<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    assert!(n > 0, "worker count must be positive");
+    let world = Communicator::world(n);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| scope.spawn(move || f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker rank panicked"))
+            .collect()
+    })
+}
+
 /// Broadcasts rank 0's parameter vector to every rank, recording the
 /// `negotiate_broadcast` / `mpi_broadcast` spans that
 /// `BroadcastGlobalVariablesHook` produces in a Horovod timeline.

@@ -355,7 +355,34 @@ mod tests {
         std::fs::write(&shard_path, &bytes).unwrap();
 
         assert!(ds.load_shard(0).is_ok());
-        assert!(ds.load_shard(1).is_err(), "flipped byte must be detected");
+        // The flipped byte must surface as the typed Corrupt error — a
+        // recovery layer matches on it to evict and rebuild — never as a
+        // panic inside the decode path.
+        assert!(
+            matches!(ds.load_shard(1), Err(CacheError::Corrupt(_))),
+            "flipped byte must surface as CacheError::Corrupt"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn truncated_shard_file_is_rejected_on_load() {
+        let root = tmp_root("truncated");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+        let (ds, _) = store.open_csv(&csv, ReadStrategy::ChunkedLowMemory, 3).unwrap();
+
+        let shard_path = ds.dir().join(&ds.manifest().shards[2].file);
+        let bytes = std::fs::read(&shard_path).unwrap();
+        std::fs::write(&shard_path, &bytes[..bytes.len() / 2]).unwrap();
+
+        assert!(
+            matches!(ds.load_shard(2), Err(CacheError::Corrupt(_))),
+            "truncated shard must surface as CacheError::Corrupt"
+        );
+        // An empty file (torn write caught at its worst) is also typed.
+        std::fs::write(&shard_path, b"").unwrap();
+        assert!(matches!(ds.load_shard(2), Err(CacheError::Corrupt(_))));
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -108,7 +108,9 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let count = u64::from_le_bytes(u64buf) as usize;
     f.read_exact(&mut u64buf)?;
     let expect_sum = u64::from_le_bytes(u64buf);
-    let mut params = Vec::with_capacity(count);
+    // Cap the pre-allocation: a garbled count field must fail via the
+    // truncated-payload path below, not via an absurd allocation.
+    let mut params = Vec::with_capacity(count.min(1 << 20));
     let mut f32buf = [0u8; 4];
     for _ in 0..count {
         f.read_exact(&mut f32buf).map_err(|_| {
@@ -241,6 +243,72 @@ mod tests {
         save(&path, 0, &[]).unwrap();
         let ckpt = load(&path).unwrap();
         assert!(ckpt.params.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn model_and_optimizer_state_resume_bit_exactly() {
+        use crate::{Dataset, Dropout, FitConfig, NoSync};
+        use tensor::Tensor;
+        use xrng::RandomSource;
+        // A full mid-training snapshot = flat params (via the checkpoint
+        // file) + optimizer slots + every RNG stream. Restoring all three
+        // must reproduce the uninterrupted run bit-for-bit even with
+        // shuffling, dropout, and Adam moments in play.
+        let build = || {
+            let mut rng = xrng::seeded(31);
+            let mut m = Sequential::new(31);
+            m.add(Box::new(Dense::new(4, 6, Activation::Relu, &mut rng)));
+            m.add(Box::new(Dropout::new(0.2, xrng::seeded(32))));
+            m.add(Box::new(Dense::new(6, 2, Activation::Linear, &mut rng)));
+            m.compile(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.01));
+            m
+        };
+        let mut rng = xrng::seeded(33);
+        let x = Tensor::from_fn([48, 4], |_| rng.next_f32() - 0.5);
+        let y = Tensor::from_fn([48, 2], |i| if i % 2 == (i / 2) % 2 { 1.0 } else { 0.0 });
+        let data = Dataset::new(x, y);
+        let config = FitConfig {
+            epochs: 2,
+            batch_size: 12,
+            shuffle: true,
+            compute_accuracy: false,
+            ..Default::default()
+        };
+
+        let mut model = build();
+        model.fit(&data, &config, &mut NoSync).unwrap();
+        // Snapshot everything mid-run.
+        let path = tmpfile("bitexact.ckpt");
+        save_model(&path, 2, &model).unwrap();
+        let slots = model.optimizer().unwrap().export_slots();
+        let rngs = model.rng_states();
+        // Continue the original run to the reference endpoint.
+        model.fit(&data, &config, &mut NoSync).unwrap();
+        let reference = model.flat_params();
+
+        // Restore into a differently-seeded fresh model and resume.
+        let mut resumed = build();
+        restore_model(&path, &mut resumed).unwrap();
+        resumed.optimizer_mut().unwrap().import_slots(slots);
+        resumed.set_rng_states(&rngs);
+        resumed.fit(&data, &config, &mut NoSync).unwrap();
+        assert_eq!(resumed.flat_params(), reference);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbled_header_fields_rejected() {
+        // Garbage inside the fixed-size header (not just the magic): an
+        // absurd parameter count must fail cleanly, not attempt a huge
+        // allocation-and-read.
+        let path = tmpfile("garbled.ckpt");
+        save(&path, 1, &[1.0f32; 8]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bytes 20..28 hold the parameter count; inflate it.
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::Corrupt(_))));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -68,6 +68,14 @@ impl Layer for Dropout {
         Ok(input.clone())
     }
 
+    fn rng(&self) -> Option<&Rng> {
+        Some(&self.rng)
+    }
+
+    fn rng_mut(&mut self) -> Option<&mut Rng> {
+        Some(&mut self.rng)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
         match &self.mask {
             None => Ok(grad_out.clone()),

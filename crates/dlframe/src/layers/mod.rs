@@ -71,6 +71,20 @@ pub trait Layer: Send + Sync {
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// The layer's private random stream, if it has one (dropout does).
+    ///
+    /// Checkpointing walks these to capture every stochastic stream in the
+    /// model, which is what makes interrupted training resumable bit-exactly.
+    fn rng(&self) -> Option<&xrng::Rng> {
+        None
+    }
+
+    /// Mutable access to the layer's private random stream, aligned with
+    /// [`Layer::rng`] (used to restore a checkpointed stream position).
+    fn rng_mut(&mut self) -> Option<&mut xrng::Rng> {
+        None
+    }
 }
 
 /// Validates that a cached forward activation exists; shared helper for the

@@ -110,6 +110,41 @@ impl Sequential {
         self.optimizer.as_mut()
     }
 
+    /// Serialises every random stream the model owns: the epoch-shuffle
+    /// stream first, then each stochastic layer's private stream (e.g.
+    /// dropout) in layer order.
+    ///
+    /// Restoring these via [`Sequential::set_rng_states`] is what makes a
+    /// checkpointed training run resumable bit-exactly — both the sample
+    /// order and the dropout masks continue from the captured position.
+    pub fn rng_states(&self) -> Vec<[u8; 32]> {
+        let mut states = vec![self.rng.to_bytes()];
+        states.extend(self.layers.iter().filter_map(|l| l.rng().map(Rng::to_bytes)));
+        states
+    }
+
+    /// Restores every random stream captured by [`Sequential::rng_states`]
+    /// on a model of identical architecture.
+    ///
+    /// # Panics
+    /// Panics if the number of states does not match this model's stream
+    /// count (shuffle stream + one per stochastic layer).
+    pub fn set_rng_states(&mut self, states: &[[u8; 32]]) {
+        let expected = 1 + self.layers.iter().filter(|l| l.rng().is_some()).count();
+        assert_eq!(
+            states.len(),
+            expected,
+            "rng state count mismatch: model has {expected} streams"
+        );
+        let mut it = states.iter();
+        self.rng = Rng::from_bytes(*it.next().expect("checked above"));
+        for layer in &mut self.layers {
+            if let Some(rng) = layer.rng_mut() {
+                *rng = Rng::from_bytes(*it.next().expect("checked above"));
+            }
+        }
+    }
+
     /// Runs a forward pass through all layers.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, DlError> {
         if self.layers.is_empty() {

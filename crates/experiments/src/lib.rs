@@ -24,6 +24,7 @@ mod figures_strong;
 mod figures_weak;
 mod functional;
 mod report;
+mod resil_table;
 mod serve_table;
 mod sweeps;
 mod tables;
@@ -39,6 +40,7 @@ pub use figures_strong::{fig6, fig7, fig8, fig9};
 pub use figures_weak::{fig18, fig19, fig20, fig21};
 pub use functional::{accuracy_sweep, AccuracyPoint};
 pub use report::{format_table, Experiment};
+pub use resil_table::table_resil;
 pub use serve_table::{measure_serving_sweep, table_serve, ServingRow};
 pub use sweeps::{
     method_comparison_sweep, MethodComparisonRow, SUMMIT_GPU_SWEEP, THETA_NODE_SWEEP,
@@ -76,6 +78,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         fig20(),
         fig21(),
         table_serve(quick),
+        table_resil(quick),
     ]
 }
 
@@ -84,7 +87,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 24);
+        assert_eq!(experiments.len(), 25);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -95,5 +98,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table6"));
         assert!(experiments.iter().any(|e| e.id == "table_cache"));
         assert!(experiments.iter().any(|e| e.id == "table_serve"));
+        assert!(experiments.iter().any(|e| e.id == "table_resil"));
     }
 }

@@ -106,6 +106,7 @@ pub fn measure_serving_sweep(quick: bool, seed: u64) -> Vec<ServingRow> {
                     queue_capacity: 4096,
                     workers: 2,
                     slo: None,
+                    kill_batches: Vec::new(),
                 },
             );
             let run = run_closed_loop(&engine.handle(), &load);

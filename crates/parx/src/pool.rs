@@ -8,6 +8,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -24,6 +25,7 @@ pub struct WorkerPool {
     sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     outstanding: Arc<Outstanding>,
+    restarts: Arc<AtomicU64>,
     size: usize,
 }
 
@@ -39,15 +41,26 @@ impl WorkerPool {
             count: Mutex::new(0),
             all_done: Condvar::new(),
         });
+        let restarts = Arc::new(AtomicU64::new(0));
         let workers = (0..size)
             .map(|i| {
                 let rx = receiver.clone();
                 let outstanding = Arc::clone(&outstanding);
+                let restarts = Arc::clone(&restarts);
                 std::thread::Builder::new()
                     .name(format!("parx-worker-{i}"))
                     .spawn(move || {
                         while let Ok(task) = rx.recv() {
-                            task();
+                            // A panicking task must not take the worker
+                            // down with it: that would silently shrink the
+                            // pool and leak the outstanding count, hanging
+                            // `join` forever. Catch the panic, count the
+                            // restart, and keep serving.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                            if outcome.is_err() {
+                                restarts.fetch_add(1, Ordering::Relaxed);
+                            }
                             let mut count = outstanding.count.lock();
                             *count -= 1;
                             if *count == 0 {
@@ -62,6 +75,7 @@ impl WorkerPool {
             sender: Some(sender),
             workers,
             outstanding,
+            restarts,
             size,
         }
     }
@@ -69,6 +83,13 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Number of times a worker recovered from a panicking task. Each
+    /// recovery is logically a worker death + immediate restart; a healthy
+    /// run reports zero.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
     }
 
     /// Submits a task for execution on some worker.
@@ -164,6 +185,33 @@ mod tests {
     #[should_panic(expected = "size must be positive")]
     fn zero_size_panics() {
         WorkerPool::new(0);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_worker() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Interleave panicking and healthy tasks; join must not hang and
+        // every healthy task must still run.
+        for i in 0..40 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                if i % 4 == 0 {
+                    panic!("injected task failure {i}");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        assert_eq!(pool.restarts(), 10);
+        // The pool stays fully usable afterwards.
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 31);
     }
 
     #[test]

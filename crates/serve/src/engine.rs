@@ -17,7 +17,7 @@ use collectives::Timeline;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dlframe::Sequential;
 use parx::WorkerPool;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tensor::Tensor;
@@ -41,6 +41,12 @@ pub struct ServeConfig {
     /// Optional per-request latency target; completed requests slower
     /// than this are counted in [`ServeReport::slo_violations`].
     pub slo: Option<Duration>,
+    /// Fault injection: batch sequence numbers (0-based, in dispatch
+    /// order) whose executing worker dies mid-batch. The affected batch's
+    /// requests are answered with [`ServeError::WorkerCrashed`], the
+    /// worker restarts (counted in [`ServeReport::worker_restarts`]), and
+    /// serving continues. Empty in production.
+    pub kill_batches: Vec<u64>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +57,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             workers: 2,
             slo: None,
+            kill_batches: Vec::new(),
         }
     }
 }
@@ -103,6 +110,11 @@ struct Ctx {
     timeline: Option<Timeline>,
     origin: Instant,
     slo: Option<Duration>,
+    /// Batches dispatched so far; gives each batch its deterministic
+    /// sequence number for fault injection.
+    batch_seq: AtomicU64,
+    /// Sorted copy of [`ServeConfig::kill_batches`].
+    kill_batches: Vec<u64>,
 }
 
 /// The submitting half of the engine; cheap to clone, one per client.
@@ -210,6 +222,8 @@ impl ServeEngine {
         let stats = Arc::new(StatsInner::new());
         let stopping = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(WorkerPool::new(config.workers));
+        let mut kill_batches = config.kill_batches.clone();
+        kill_batches.sort_unstable();
         let ctx = Arc::new(Ctx {
             model,
             stats: Arc::clone(&stats),
@@ -217,6 +231,8 @@ impl ServeEngine {
             timeline,
             origin: Instant::now(),
             slo: config.slo,
+            batch_seq: AtomicU64::new(0),
+            kill_batches,
         });
         let batcher = {
             let pool = Arc::clone(&pool);
@@ -251,14 +267,16 @@ impl ServeEngine {
 
     /// Snapshot of serving stats so far.
     pub fn report(&self) -> ServeReport {
-        self.stats.report(self.started.elapsed().as_secs_f64())
+        self.stats
+            .report(self.started.elapsed().as_secs_f64(), self.pool.restarts())
     }
 
     /// Stops accepting requests, drains the queue, waits for in-flight
     /// batches and returns the final stats.
     pub fn shutdown(mut self) -> ServeReport {
         self.stop_and_join();
-        self.stats.report(self.started.elapsed().as_secs_f64())
+        self.stats
+            .report(self.started.elapsed().as_secs_f64(), self.pool.restarts())
     }
 
     fn stop_and_join(&mut self) {
@@ -339,17 +357,46 @@ fn dispatch(batch: Vec<Request>, ctx: &Arc<Ctx>, pool: &WorkerPool) {
     pool.submit(move || run_batch(batch, &ctx));
 }
 
+/// Holds a batch's unanswered requests while the worker executes it. If
+/// the worker dies mid-batch (a panic anywhere during assembly or the
+/// forward pass), the drop during unwinding still answers every pending
+/// request with [`ServeError::WorkerCrashed`] and releases its in-flight
+/// slot — a crash must not leak capacity or strand waiting clients.
+struct PendingBatch<'a> {
+    requests: Vec<Request>,
+    ctx: &'a Ctx,
+}
+
+impl PendingBatch<'_> {
+    /// Takes the requests for normal (non-crash) completion.
+    fn take(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.requests)
+    }
+}
+
+impl Drop for PendingBatch<'_> {
+    fn drop(&mut self) {
+        for r in self.requests.drain(..) {
+            finish(r, Err(ServeError::WorkerCrashed), self.ctx);
+        }
+    }
+}
+
 /// Executes one batch on a worker thread: assemble rows, one forward
 /// pass, scatter replies, record stats and timeline spans.
 fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
     let dispatched = Instant::now();
+    let seq = ctx.batch_seq.fetch_add(1, Ordering::Relaxed);
     // All rows in a batch must share the first row's width; stragglers
     // are answered individually so they cannot poison the forward pass.
     let width = batch[0].features.len();
-    let mut valid = Vec::with_capacity(batch.len());
+    let mut pending = PendingBatch {
+        requests: Vec::with_capacity(batch.len()),
+        ctx,
+    };
     for r in batch {
         if r.features.len() == width {
-            valid.push(r);
+            pending.requests.push(r);
         } else {
             let msg = format!(
                 "feature width {} differs from batch width {width}",
@@ -358,12 +405,18 @@ fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
             finish(r, Err(ServeError::BadRequest(msg)), ctx);
         }
     }
-    if valid.is_empty() {
+    if pending.requests.is_empty() {
         return;
     }
-    let n = valid.len();
+    // Injected fault: this worker dies mid-batch. The PendingBatch guard
+    // answers the batch with WorkerCrashed on the way down, and the pool
+    // restarts the worker.
+    if ctx.kill_batches.binary_search(&seq).is_ok() {
+        panic!("injected worker death at batch {seq}");
+    }
+    let n = pending.requests.len();
     let mut data = Vec::with_capacity(n * width);
-    for r in &valid {
+    for r in &pending.requests {
         data.extend_from_slice(&r.features);
     }
     let x = Tensor::from_vec([n, width], data).expect("batch assembly is shape-exact");
@@ -373,7 +426,8 @@ fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
     ctx.stats.record_batch(forward);
     if let Some(tl) = &ctx.timeline {
         let rank = worker_rank();
-        let earliest = valid
+        let earliest = pending
+            .requests
             .iter()
             .map(|r| r.enqueued)
             .min()
@@ -391,6 +445,7 @@ fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
             forward.as_micros() as u64,
         );
     }
+    let valid = pending.take();
     match result {
         Ok(out) => {
             let out_width = out.len() / n;
@@ -423,8 +478,11 @@ fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
 /// fail only if the client dropped its ticket; the slot is released
 /// either way.
 fn finish(r: Request, result: Result<Prediction, ServeError>, ctx: &Ctx) {
-    let _ = r.reply.send(result);
+    // Release the slot before the reply hand-off: a client that has its
+    // reply must observe the slot free too, or a sequential caller can
+    // read a stale nonzero depth from an otherwise idle engine.
     ctx.depth.fetch_sub(1, Ordering::AcqRel);
+    let _ = r.reply.send(result);
 }
 
 /// Timeline lane for the current pool worker, parsed from the
@@ -649,6 +707,46 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.slo_violations, 5);
         assert_eq!(report.slo_attainment(), 0.0);
+    }
+
+    #[test]
+    fn killed_worker_restarts_and_serving_continues() {
+        let m = model(10, 4, 2);
+        // Batch-1 mode makes batch sequence numbers align with requests:
+        // batch 2 (the third) is killed mid-execution.
+        let engine = ServeEngine::start(
+            Arc::clone(&m),
+            ServeConfig {
+                max_batch: 1,
+                workers: 2,
+                kill_batches: vec![2],
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let mut crashed = 0;
+        let mut completed = 0;
+        for i in 0..12 {
+            match handle.predict(row(i, 4)) {
+                Ok(p) => {
+                    // Served rows stay bit-identical to direct inference.
+                    let direct = m
+                        .predict(&Tensor::from_vec([1, 4], row(i, 4)).unwrap())
+                        .unwrap();
+                    assert_eq!(p.output, direct.data());
+                    completed += 1;
+                }
+                Err(ServeError::WorkerCrashed) => crashed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(crashed, 1, "exactly the killed batch fails");
+        assert_eq!(completed, 11);
+        // No leaked in-flight slots: the engine is idle again.
+        assert_eq!(handle.depth(), 0);
+        let report = engine.shutdown();
+        assert_eq!(report.worker_restarts, 1);
+        assert_eq!(report.completed, 11);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub enum ServeError {
     BadRequest(String),
     /// The model rejected the batched forward pass.
     Model(DlError),
+    /// The worker executing this request's batch died mid-batch (e.g. an
+    /// injected fault). The worker itself restarts and the engine keeps
+    /// serving; clients may safely retry.
+    WorkerCrashed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -79,6 +83,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::WorkerCrashed => {
+                write!(f, "worker crashed mid-batch; retry after the restart")
+            }
         }
     }
 }

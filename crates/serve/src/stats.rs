@@ -48,8 +48,9 @@ impl StatsInner {
         self.forward.lock().record(forward.as_secs_f64());
     }
 
-    /// Snapshot over `elapsed_s` seconds of serving.
-    pub fn report(&self, elapsed_s: f64) -> ServeReport {
+    /// Snapshot over `elapsed_s` seconds of serving; `worker_restarts`
+    /// comes from the worker pool, which owns that counter.
+    pub fn report(&self, elapsed_s: f64, worker_restarts: u64) -> ServeReport {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         ServeReport {
@@ -57,6 +58,7 @@ impl StatsInner {
             shed: self.shed.load(Ordering::Relaxed),
             batches,
             slo_violations: self.slo_violations.load(Ordering::Relaxed),
+            worker_restarts,
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -129,6 +131,9 @@ pub struct ServeReport {
     /// Completed requests whose end-to-end latency exceeded the SLO
     /// target (0 when no SLO is configured).
     pub slo_violations: u64,
+    /// Workers that died mid-batch and were restarted (0 in a healthy
+    /// run; see [`crate::ServeError::WorkerCrashed`]).
+    pub worker_restarts: u64,
     /// Mean rows per dispatched batch.
     pub mean_batch: f64,
     /// Serving wall-clock covered by this report, seconds.
@@ -159,8 +164,13 @@ impl std::fmt::Display for ServeReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "completed {} | shed {} | batches {} (mean {:.2} rows) | {:.0} req/s",
-            self.completed, self.shed, self.batches, self.mean_batch, self.throughput_rps
+            "completed {} | shed {} | batches {} (mean {:.2} rows) | {:.0} req/s | {} restarts",
+            self.completed,
+            self.shed,
+            self.batches,
+            self.mean_batch,
+            self.throughput_rps,
+            self.worker_restarts
         )?;
         writeln!(f, "latency  p50/p95/p99/max: {}", self.latency.to_millis_string())?;
         writeln!(
@@ -192,7 +202,8 @@ mod tests {
                 Some(Duration::from_millis(3)),
             );
         }
-        let r = inner.report(2.0);
+        let r = inner.report(2.0, 1);
+        assert_eq!(r.worker_restarts, 1);
         assert_eq!(r.completed, 8);
         assert_eq!(r.batches, 1);
         assert_eq!(r.mean_batch, 8.0);
@@ -205,7 +216,7 @@ mod tests {
 
     #[test]
     fn empty_report_is_benign() {
-        let r = StatsInner::new().report(0.0);
+        let r = StatsInner::new().report(0.0, 0);
         assert_eq!(r.completed, 0);
         assert_eq!(r.throughput_rps, 0.0);
         assert_eq!(r.mean_batch, 0.0);

@@ -66,6 +66,7 @@ fn main() {
             queue_capacity: 2048,
             workers: 2,
             slo: Some(Duration::from_millis(5)),
+            kill_batches: Vec::new(),
         },
         timeline.clone(),
     );

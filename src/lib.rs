@@ -4,7 +4,9 @@ pub use cluster;
 pub use collectives;
 pub use dataio;
 pub use dlframe;
+pub use datacache;
 pub use experiments;
+pub use resil;
 pub use serve;
 pub use simcore;
 pub use tensor;

@@ -172,6 +172,7 @@ fn overload_sheds_fast_and_recovers() {
             queue_capacity: capacity,
             workers: 1,
             slo: None,
+            kill_batches: Vec::new(),
         },
     );
     let handle = engine.handle();
