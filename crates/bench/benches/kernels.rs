@@ -2,7 +2,10 @@
 //! training step, at shapes taken from the four benchmark architectures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tensor::{conv1d_forward, matmul, matmul_a_bt, matmul_at_b, Tensor};
+use tensor::{
+    conv1d_backward, conv1d_forward, gemm_into, matmul, matmul_a_bt, matmul_at_b, reference,
+    with_scratch, Epilogue, FusedAct, GemmMode, Tensor,
+};
 use xrng::RandomSource;
 
 fn rand2(r: usize, c: usize, seed: u64) -> Tensor {
@@ -77,6 +80,115 @@ fn conv_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn gemm_blocked_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_blocked_vs_seed");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    // P1B1's widest encoder GEMM and NT3's dense head.
+    for &(m, k, n) in &[(512usize, 960usize, 1024usize), (20, 9600, 200)] {
+        let a = rand2(m, k, 11);
+        let b = rand2(k, n, 12);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("seed", format!("{m}x{k}x{n}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| std::hint::black_box(reference::matmul_seed(&a, &b).expect("mm")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{k}x{n}")),
+            &(),
+            |bench, _| bench.iter(|| std::hint::black_box(matmul(&a, &b).expect("mm"))),
+        );
+    }
+    group.finish();
+}
+
+fn conv_blocked_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv1d_blocked_vs_seed");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    // NT3's second conv block at the scaled feature dimension.
+    let (batch, steps, in_ch, out_ch, kernel, stride) = (20usize, 1024usize, 16usize, 128, 20, 1);
+    let input = rand3(batch, steps, in_ch, 13);
+    let weights = rand3(kernel, in_ch, out_ch, 14);
+    let out_steps = (steps - kernel) / stride + 1;
+    let shape = format!("{batch}x{steps}x{in_ch}->{out_ch}k{kernel}");
+    group.bench_function(format!("fwd_seed/{shape}"), |bench| {
+        bench.iter(|| {
+            std::hint::black_box(reference::conv1d_forward_seed(&input, &weights, stride))
+                .expect("conv")
+        })
+    });
+    group.bench_function(format!("fwd_im2col/{shape}"), |bench| {
+        bench
+            .iter(|| std::hint::black_box(conv1d_forward(&input, &weights, stride)).expect("conv"))
+    });
+    let grad_out = rand3(batch, out_steps, out_ch, 15);
+    group.bench_function(format!("bwd_seed/{shape}"), |bench| {
+        bench.iter(|| {
+            std::hint::black_box(reference::conv1d_backward_seed(
+                &input, &weights, &grad_out, stride,
+            ))
+            .expect("conv")
+        })
+    });
+    group.bench_function(format!("bwd_im2col/{shape}"), |bench| {
+        bench.iter(|| {
+            std::hint::black_box(conv1d_backward(&input, &weights, &grad_out, stride))
+                .expect("conv")
+        })
+    });
+    group.finish();
+}
+
+fn fused_epilogue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_epilogue");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    // A P1B1 dense layer: does the fused bias+ReLU pass beat GEMM followed
+    // by separate bias and activation sweeps?
+    let (m, k, n) = (512usize, 960usize, 1024usize);
+    let a = rand2(m, k, 16);
+    let b = rand2(k, n, 17);
+    let bias = rand2(1, n, 18);
+    let mut out = Tensor::zeros([m, n]);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    group.bench_function("separate_bias_relu", |bench| {
+        bench.iter(|| {
+            with_scratch(|ws| {
+                gemm_into(GemmMode::Ab, &a, &b, &mut out, &Epilogue::NONE, ws).expect("gemm");
+            });
+            for row in out.data_mut().chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias.data()) {
+                    *o += bv;
+                }
+            }
+            for o in out.data_mut() {
+                *o = o.max(0.0);
+            }
+            std::hint::black_box(out.data()[0]);
+        })
+    });
+    group.bench_function("fused_bias_relu", |bench| {
+        bench.iter(|| {
+            with_scratch(|ws| {
+                let ep = Epilogue {
+                    bias: Some(bias.data()),
+                    act: FusedAct::Relu,
+                };
+                gemm_into(GemmMode::Ab, &a, &b, &mut out, &ep, ws).expect("gemm");
+            });
+            std::hint::black_box(out.data()[0]);
+        })
+    });
+    group.finish();
+}
+
 fn softmax_and_reductions(c: &mut Criterion) {
     let mut group = c.benchmark_group("elementwise");
     group.warm_up_time(std::time::Duration::from_millis(300));
@@ -98,6 +210,9 @@ criterion_group!(
     benches,
     matmul_kernels,
     conv_kernels,
+    gemm_blocked_vs_seed,
+    conv_blocked_vs_seed,
+    fused_epilogue,
     softmax_and_reductions
 );
 criterion_main!(benches);

@@ -275,6 +275,12 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
             Err(e) => return Err(e.to_string()),
         };
         rank_profile.record("training", fit_start.elapsed());
+        // Split the training wall time into the hot-path phases the model
+        // accumulated (forward+loss, backward, sync+optimizer).
+        let hot = model.hot_stats();
+        rank_profile.record_n("train_forward", hot.forward, hot.batches);
+        rank_profile.record_n("train_backward", hot.backward, hot.batches);
+        rank_profile.record_n("train_optimizer", hot.optimizer, hot.batches);
         let stats = dist.comm().stats().clone();
         // Rank 0 evaluates the trained model.
         let eval = if rank == 0 {

@@ -1,6 +1,11 @@
 //! Activation functions with forward and backward evaluation.
+//!
+//! The pointwise functions mirror `tensor::FusedAct` exactly (sigmoid is
+//! shared via [`tensor::sigmoid`]), so a layer that fuses its activation
+//! into the GEMM epilogue produces bit-identical outputs to one applying
+//! the activation as a separate pass.
 
-use tensor::Tensor;
+use tensor::{sigmoid, FusedAct, Tensor};
 
 /// Pointwise (or row-wise, for softmax) activation functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,12 +25,31 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation.
     pub fn forward(self, x: &Tensor) -> Tensor {
+        let mut out = x.clone();
+        self.forward_inplace(&mut out);
+        out
+    }
+
+    /// Applies the activation in place (allocation-free forward).
+    pub fn forward_inplace(self, x: &mut Tensor) {
         match self {
-            Activation::Linear => x.clone(),
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Sigmoid => x.map(sigmoid),
-            Activation::Tanh => x.map(f32::tanh),
-            Activation::Softmax => x.softmax_rows(),
+            Activation::Linear => {}
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map_inplace(sigmoid),
+            Activation::Tanh => x.map_inplace(f32::tanh),
+            Activation::Softmax => x.softmax_rows_inplace(),
+        }
+    }
+
+    /// The GEMM-epilogue equivalent of this activation, if it is pointwise.
+    /// Softmax is row-wise and cannot be fused per element.
+    pub fn fused(self) -> Option<FusedAct> {
+        match self {
+            Activation::Linear => Some(FusedAct::Linear),
+            Activation::Relu => Some(FusedAct::Relu),
+            Activation::Sigmoid => Some(FusedAct::Sigmoid),
+            Activation::Tanh => Some(FusedAct::Tanh),
+            Activation::Softmax => None,
         }
     }
 
@@ -38,34 +62,42 @@ impl Activation {
     /// For `Softmax` this computes the full row-wise Jacobian product,
     /// `dx_i = y_i (g_i - Σ_j g_j y_j)`.
     pub fn backward(self, y: &Tensor, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        self.backward_in_place(y, &mut g);
+        g
+    }
+
+    /// [`Activation::backward`] writing into a preallocated tensor of the
+    /// same length as `grad_out` (allocation-free backward).
+    pub fn backward_into(self, y: &Tensor, grad_out: &Tensor, out: &mut Tensor) {
+        debug_assert_eq!(out.len(), grad_out.len());
+        out.data_mut().copy_from_slice(grad_out.data());
+        self.backward_in_place(y, out);
+    }
+
+    /// Turns a copy of `dL/dy` held in `g` into `dL/dx`, in place.
+    fn backward_in_place(self, y: &Tensor, g: &mut Tensor) {
         match self {
-            Activation::Linear => grad_out.clone(),
+            Activation::Linear => {}
             Activation::Relu => {
-                let mut g = grad_out.clone();
                 for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
                     if yv <= 0.0 {
                         *gv = 0.0;
                     }
                 }
-                g
             }
             Activation::Sigmoid => {
-                let mut g = grad_out.clone();
                 for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
                     *gv *= yv * (1.0 - yv);
                 }
-                g
             }
             Activation::Tanh => {
-                let mut g = grad_out.clone();
                 for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
                     *gv *= 1.0 - yv * yv;
                 }
-                g
             }
             Activation::Softmax => {
                 let (rows, cols) = y.shape().as_2d();
-                let mut g = grad_out.clone();
                 for r in 0..rows {
                     let yrow = &y.data()[r * cols..(r + 1) * cols];
                     let grow = &mut g.data_mut()[r * cols..(r + 1) * cols];
@@ -74,7 +106,6 @@ impl Activation {
                         *gv = yv * (*gv - dot);
                     }
                 }
-                g
             }
         }
     }
@@ -88,16 +119,6 @@ impl Activation {
             Activation::Tanh => "tanh",
             Activation::Softmax => "softmax",
         }
-    }
-}
-
-fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        // Avoid overflow for large negative inputs.
-        let e = x.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -77,6 +77,13 @@ impl Dataset {
         (self.x.gather_rows(indices), self.y.gather_rows(indices))
     }
 
+    /// [`Dataset::batch`] into caller-owned tensors, reusing their buffers.
+    /// After the first batch of an epoch the gather is allocation-free.
+    pub fn batch_into(&self, indices: &[usize], x_out: &mut Tensor, y_out: &mut Tensor) {
+        self.x.gather_rows_into(indices, x_out);
+        self.y.gather_rows_into(indices, y_out);
+    }
+
     /// Returns the shard of samples assigned to `rank` of `nranks` under
     /// block partitioning — the data-parallel split used by the Horovod
     /// implementation.

@@ -1,8 +1,8 @@
 //! Standalone activation layer (Keras `Activation("relu")`).
 
-use super::{require_cached, Layer};
+use super::{require_cached, store_cache, Layer};
 use crate::{Activation, DlError};
-use tensor::Tensor;
+use tensor::{with_scratch, Tensor, Workspace};
 
 /// Applies an [`Activation`] as its own layer.
 pub struct ActivationLayer {
@@ -30,9 +30,19 @@ impl Layer for ActivationLayer {
         "activation"
     }
 
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
-        let y = self.activation.forward(input);
-        self.output_cache = Some(y.clone());
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.forward_ws(input, training, ws))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let mut y = ws.alloc_copy(input);
+        self.activation.forward_inplace(&mut y);
+        store_cache(&mut self.output_cache, &y, ws);
         Ok(y)
     }
 
@@ -41,8 +51,14 @@ impl Layer for ActivationLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.backward_ws(grad_out, ws))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
         let y = require_cached(&self.output_cache, "activation")?;
-        Ok(self.activation.backward(y, grad_out))
+        let mut g = ws.alloc(y.shape().clone());
+        self.activation.backward_into(y, grad_out, &mut g);
+        Ok(g)
     }
 }
 

@@ -1,8 +1,15 @@
 //! 1-D convolutional layer (the NT3 feature extractor).
+//!
+//! Runs on the im2col+GEMM kernels: forward is one fused-epilogue GEMM
+//! (bias and pointwise activation applied inside the kernel) and backward
+//! writes the weight gradient straight into the persistent tensor.
 
-use super::{require_cached, Layer};
+use super::{require_cached, store_cache, Layer};
 use crate::{Activation, DlError};
-use tensor::{conv1d_backward, conv1d_forward, conv1d_output_len, Initializer, Tensor};
+use tensor::{
+    conv1d_backward_ws, conv1d_forward_ws, conv1d_output_len, with_scratch, FusedAct,
+    Initializer, Tensor, Workspace,
+};
 use xrng::Rng;
 
 /// Keras-style `Conv1D(filters, kernel_size, strides, activation)` with
@@ -69,8 +76,11 @@ impl Conv1D {
         self.filters
     }
 
-    /// The pure computation shared by the training and inference paths.
-    fn compute(&self, input: &Tensor) -> Result<Tensor, DlError> {
+    /// The pure computation shared by the training and inference paths:
+    /// im2col + GEMM with the bias and pointwise activation fused into the
+    /// epilogue. (A non-pointwise activation falls back to a separate
+    /// pass, preserving the old semantics.)
+    fn compute_ws(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
         let (_, _, in_ch) = input.shape().as_3d();
         if in_ch != self.in_channels {
             return Err(DlError::BadInput(format!(
@@ -78,17 +88,20 @@ impl Conv1D {
                 self.in_channels
             )));
         }
-        let mut z = conv1d_forward(input, &self.weights, self.stride)
-            .map_err(|e| DlError::BadInput(e.to_string()))?;
-        // Bias per output channel.
-        let (_, _, out_ch) = z.shape().as_3d();
-        let bias = self.bias.data().to_vec();
-        for row in z.data_mut().chunks_exact_mut(out_ch) {
-            for (x, b) in row.iter_mut().zip(&bias) {
-                *x += b;
-            }
+        let fused = self.activation.fused();
+        let mut z = conv1d_forward_ws(
+            input,
+            &self.weights,
+            self.stride,
+            Some(self.bias.data()),
+            fused.unwrap_or(FusedAct::Linear),
+            ws,
+        )
+        .map_err(|e| DlError::BadInput(e.to_string()))?;
+        if fused.is_none() {
+            self.activation.forward_inplace(&mut z);
         }
-        Ok(self.activation.forward(&z))
+        Ok(z)
     }
 }
 
@@ -97,33 +110,57 @@ impl Layer for Conv1D {
         "conv1d"
     }
 
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
-        let y = self.compute(input)?;
-        self.input_cache = Some(input.clone());
-        self.output_cache = Some(y.clone());
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.forward_ws(input, training, ws))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let y = self.compute_ws(input, ws)?;
+        store_cache(&mut self.input_cache, input, ws);
+        store_cache(&mut self.output_cache, &y, ws);
         Ok(y)
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
-        self.compute(input)
+        with_scratch(|ws| self.compute_ws(input, ws))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
-        let y = require_cached(&self.output_cache, "conv1d")?;
-        let grad_z = self.activation.backward(y, grad_out);
+        with_scratch(|ws| self.backward_ws(grad_out, ws))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let grad_z = {
+            let y = require_cached(&self.output_cache, "conv1d")?;
+            let mut gz = ws.alloc(y.shape().clone());
+            self.activation.backward_into(y, grad_out, &mut gz);
+            gz
+        };
         let x = require_cached(&self.input_cache, "conv1d")?;
-        let (grad_input, grad_weights) = conv1d_backward(x, &self.weights, &grad_z, self.stride)
-            .map_err(|e| DlError::BadInput(e.to_string()))?;
+        let grad_input = conv1d_backward_ws(
+            x,
+            &self.weights,
+            &grad_z,
+            self.stride,
+            &mut self.grad_weights,
+            ws,
+        )
+        .map_err(|e| DlError::BadInput(e.to_string()))?;
         // Bias gradient: sum of grad_z over batch and steps per channel.
         let (_, _, out_ch) = grad_z.shape().as_3d();
-        let mut gb = Tensor::zeros([out_ch]);
+        let gb = self.grad_bias.data_mut();
+        gb.fill(0.0);
         for row in grad_z.data().chunks_exact(out_ch) {
-            for (g, &v) in gb.data_mut().iter_mut().zip(row) {
+            for (g, &v) in gb.iter_mut().zip(row) {
                 *g += v;
             }
         }
-        self.grad_weights = grad_weights;
-        self.grad_bias = gb;
+        ws.recycle(grad_z);
         Ok(grad_input)
     }
 
@@ -141,6 +178,21 @@ impl Layer for Conv1D {
 
     fn grads_mut(&mut self) -> Vec<&mut Tensor> {
         vec![&mut self.grad_weights, &mut self.grad_bias]
+    }
+
+    fn for_each_grad(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.grad_weights);
+        f(&self.grad_bias);
+    }
+
+    fn for_each_grad_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.grad_weights);
+        f(&mut self.grad_bias);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weights);
+        f(&mut self.bias);
     }
 }
 

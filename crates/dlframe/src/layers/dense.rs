@@ -1,8 +1,14 @@
 //! Fully connected layer.
+//!
+//! Forward is a single fused-epilogue GEMM (`y = act(x·W + b)` in one
+//! pass over the output) and backward is two `gemm_into` calls writing
+//! straight into the persistent gradient tensors — no temporaries beyond
+//! the workspace pool.
 
-use super::{require_cached, Layer};
+use super::{require_cached, store_cache, Layer};
 use crate::{Activation, DlError};
-use tensor::{matmul, matmul_a_bt, matmul_at_b, Initializer, Tensor};
+use tensor::{gemm_into, gemm_slice, with_scratch, Epilogue, GemmMode, Initializer, Tensor,
+    Workspace};
 use xrng::Rng;
 
 /// `y = act(x·W + b)` for `x: (batch, in)`, `W: (in, out)`, `b: (out)`.
@@ -48,19 +54,40 @@ impl Dense {
         self.out_dim
     }
 
-    /// The pure computation shared by the training and inference paths.
-    fn compute(&self, input: &Tensor) -> Result<Tensor, DlError> {
-        let (_, cols) = input.shape().as_2d();
+    /// The pure computation shared by the training and inference paths:
+    /// one GEMM with the bias and (pointwise) activation fused into the
+    /// epilogue. Softmax is row-wise, so it runs as a separate in-place
+    /// pass after a bias-only epilogue.
+    fn compute_ws(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let (batch, cols) = input.shape().as_2d();
         if cols != self.in_dim {
             return Err(DlError::BadInput(format!(
                 "dense expects {} features, got {cols}",
                 self.in_dim
             )));
         }
-        let mut z = matmul(input, &self.weights).map_err(|e| DlError::BadInput(e.to_string()))?;
-        z.add_row_broadcast(&self.bias)
-            .map_err(|e| DlError::BadInput(e.to_string()))?;
-        Ok(self.activation.forward(&z))
+        let mut z = ws.alloc([batch, self.out_dim]);
+        let fused = self.activation.fused();
+        let epilogue = Epilogue {
+            bias: Some(self.bias.data()),
+            act: fused.unwrap_or_default(),
+        };
+        gemm_slice(
+            GemmMode::Ab,
+            input.data(),
+            self.weights.data(),
+            batch,
+            self.in_dim,
+            self.out_dim,
+            z.data_mut(),
+            &epilogue,
+            0,
+            ws,
+        );
+        if fused.is_none() {
+            self.activation.forward_inplace(&mut z);
+        }
+        Ok(z)
     }
 }
 
@@ -69,25 +96,61 @@ impl Layer for Dense {
         "dense"
     }
 
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
-        let y = self.compute(input)?;
-        self.input_cache = Some(input.clone());
-        self.output_cache = Some(y.clone());
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.forward_ws(input, training, ws))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let y = self.compute_ws(input, ws)?;
+        store_cache(&mut self.input_cache, input, ws);
+        store_cache(&mut self.output_cache, &y, ws);
         Ok(y)
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, DlError> {
-        self.compute(input)
+        with_scratch(|ws| self.compute_ws(input, ws))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
-        let y = require_cached(&self.output_cache, "dense")?;
-        let grad_z = self.activation.backward(y, grad_out);
+        with_scratch(|ws| self.backward_ws(grad_out, ws))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let grad_z = {
+            let y = require_cached(&self.output_cache, "dense")?;
+            let mut gz = ws.alloc(y.shape().clone());
+            self.activation.backward_into(y, grad_out, &mut gz);
+            gz
+        };
         let x = require_cached(&self.input_cache, "dense")?;
-        self.grad_weights =
-            matmul_at_b(x, &grad_z).map_err(|e| DlError::BadInput(e.to_string()))?;
-        self.grad_bias = grad_z.sum_rows();
-        matmul_a_bt(&grad_z, &self.weights).map_err(|e| DlError::BadInput(e.to_string()))
+        gemm_into(
+            GemmMode::AtB,
+            x,
+            &grad_z,
+            &mut self.grad_weights,
+            &Epilogue::NONE,
+            ws,
+        )
+        .map_err(|e| DlError::BadInput(e.to_string()))?;
+        grad_z.sum_rows_into(&mut self.grad_bias);
+        let (batch, _) = grad_z.shape().as_2d();
+        let mut gx = ws.alloc([batch, self.in_dim]);
+        gemm_into(
+            GemmMode::ABt,
+            &grad_z,
+            &self.weights,
+            &mut gx,
+            &Epilogue::NONE,
+            ws,
+        )
+        .map_err(|e| DlError::BadInput(e.to_string()))?;
+        ws.recycle(grad_z);
+        Ok(gx)
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -104,6 +167,21 @@ impl Layer for Dense {
 
     fn grads_mut(&mut self) -> Vec<&mut Tensor> {
         vec![&mut self.grad_weights, &mut self.grad_bias]
+    }
+
+    fn for_each_grad(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.grad_weights);
+        f(&self.grad_bias);
+    }
+
+    fn for_each_grad_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.grad_weights);
+        f(&mut self.grad_bias);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weights);
+        f(&mut self.bias);
     }
 }
 

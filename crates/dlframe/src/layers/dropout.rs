@@ -2,7 +2,7 @@
 
 use super::Layer;
 use crate::DlError;
-use tensor::Tensor;
+use tensor::{with_scratch, Tensor, Workspace};
 use xrng::{Bernoulli, Rng};
 
 /// Keras-style `Dropout(rate)` using inverted scaling: at training time each
@@ -11,7 +11,12 @@ use xrng::{Bernoulli, Rng};
 pub struct Dropout {
     rate: f64,
     rng: Rng,
-    mask: Option<Vec<f32>>,
+    /// Mask buffer of the last active training forward; reused across
+    /// batches so steady-state training allocates nothing here.
+    mask: Vec<f32>,
+    /// Whether `mask` reflects the last forward (false for inference or
+    /// zero-rate passes, where backward is a passthrough).
+    active: bool,
 }
 
 impl Dropout {
@@ -24,7 +29,8 @@ impl Dropout {
         Self {
             rate,
             rng,
-            mask: None,
+            mask: Vec::new(),
+            active: false,
         }
     }
 
@@ -40,26 +46,36 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.forward_ws(input, training, ws))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
         if !training || self.rate == 0.0 {
-            self.mask = None;
-            return Ok(input.clone());
+            self.active = false;
+            return Ok(ws.alloc_copy(input));
         }
         let keep = Bernoulli::new(1.0 - self.rate);
         let scale = (1.0 / (1.0 - self.rate)) as f32;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| {
-                if keep.sample(&mut self.rng) {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut out = input.clone();
-        for (x, &m) in out.data_mut().iter_mut().zip(&mask) {
+        // Same sample order as always: one Bernoulli draw per element,
+        // in element order, so checkpoints replay bit-exactly.
+        self.mask.clear();
+        self.mask.extend((0..input.len()).map(|_| {
+            if keep.sample(&mut self.rng) {
+                scale
+            } else {
+                0.0
+            }
+        }));
+        let mut out = ws.alloc_copy(input);
+        for (x, &m) in out.data_mut().iter_mut().zip(&self.mask) {
             *x *= m;
         }
-        self.mask = Some(mask);
+        self.active = true;
         Ok(out)
     }
 
@@ -77,23 +93,25 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
-        match &self.mask {
-            None => Ok(grad_out.clone()),
-            Some(mask) => {
-                if mask.len() != grad_out.len() {
-                    return Err(DlError::BadInput(format!(
-                        "dropout mask length {} vs gradient length {}",
-                        mask.len(),
-                        grad_out.len()
-                    )));
-                }
-                let mut g = grad_out.clone();
-                for (x, &m) in g.data_mut().iter_mut().zip(mask) {
-                    *x *= m;
-                }
-                Ok(g)
-            }
+        with_scratch(|ws| self.backward_ws(grad_out, ws))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        if !self.active {
+            return Ok(ws.alloc_copy(grad_out));
         }
+        if self.mask.len() != grad_out.len() {
+            return Err(DlError::BadInput(format!(
+                "dropout mask length {} vs gradient length {}",
+                self.mask.len(),
+                grad_out.len()
+            )));
+        }
+        let mut g = ws.alloc_copy(grad_out);
+        for (x, &m) in g.data_mut().iter_mut().zip(&self.mask) {
+            *x *= m;
+        }
+        Ok(g)
     }
 }
 

@@ -21,7 +21,7 @@ pub use pool::MaxPooling1D;
 pub use reshape::{Flatten, Reshape3};
 
 use crate::DlError;
-use tensor::Tensor;
+use tensor::{Tensor, Workspace};
 
 /// A differentiable layer in a [`Sequential`](crate::Sequential) stack.
 ///
@@ -45,6 +45,26 @@ pub trait Layer: Send + Sync {
     /// gradients internally. Must be called after `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError>;
 
+    /// Workspace-aware forward pass: scratch and output buffers come from
+    /// `ws`'s pool, so the training hot loop performs no heap allocation
+    /// once warm. Semantically identical to [`Layer::forward`] (which is
+    /// the default implementation, for custom layers that don't opt in).
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let _ = ws;
+        self.forward(input, training)
+    }
+
+    /// Workspace-aware backward pass; see [`Layer::forward_ws`].
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let _ = ws;
+        self.backward(grad_out)
+    }
+
     /// The layer's trainable parameter tensors (possibly empty).
     fn params(&self) -> Vec<&Tensor> {
         Vec::new()
@@ -67,6 +87,31 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Visits each gradient tensor in [`Layer::params`] order without
+    /// materializing a `Vec` (the hot-path form of [`Layer::grads`]; the
+    /// default is allocation-free only for parameterless layers, so
+    /// parameterized layers should override).
+    fn for_each_grad(&self, f: &mut dyn FnMut(&Tensor)) {
+        for g in self.grads() {
+            f(g);
+        }
+    }
+
+    /// Mutable counterpart of [`Layer::for_each_grad`].
+    fn for_each_grad_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for g in self.grads_mut() {
+            f(g);
+        }
+    }
+
+    /// Visits each parameter tensor mutably, in [`Layer::params`] order,
+    /// without materializing a `Vec`.
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Total number of scalar parameters.
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
@@ -84,6 +129,16 @@ pub trait Layer: Send + Sync {
     /// [`Layer::rng`] (used to restore a checkpointed stream position).
     fn rng_mut(&mut self) -> Option<&mut xrng::Rng> {
         None
+    }
+}
+
+/// Stores `src` into a layer's persistent cache slot. The first call takes
+/// a pooled buffer from `ws`; every later call reuses the slot's own buffer
+/// via [`Tensor::copy_from`], so steady-state caching allocates nothing.
+pub(crate) fn store_cache(slot: &mut Option<Tensor>, src: &Tensor, ws: &mut Workspace) {
+    match slot {
+        Some(t) => t.copy_from(src),
+        None => *slot = Some(ws.alloc_copy(src)),
     }
 }
 

@@ -2,11 +2,16 @@
 
 use super::Layer;
 use crate::DlError;
-use tensor::{maxpool1d_backward, maxpool1d_forward, Shape, Tensor};
+use tensor::{
+    maxpool1d_backward_ws, maxpool1d_forward, maxpool1d_forward_ws, with_scratch, Shape, Tensor,
+    Workspace,
+};
 
 /// Keras-style `MaxPooling1D(pool_size)` with non-overlapping windows.
 pub struct MaxPooling1D {
     pool: usize,
+    /// Argmax buffer of the last training forward; the `Vec` is moved out
+    /// and back so its capacity survives across batches.
     argmax: Option<Vec<usize>>,
     input_shape: Option<Shape>,
 }
@@ -36,9 +41,19 @@ impl Layer for MaxPooling1D {
         "max_pooling1d"
     }
 
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, DlError> {
-        let (out, argmax) =
-            maxpool1d_forward(input, self.pool).map_err(|e| DlError::BadInput(e.to_string()))?;
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.forward_ws(input, training, ws))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let mut argmax = self.argmax.take().unwrap_or_default();
+        let out = maxpool1d_forward_ws(input, self.pool, &mut argmax, ws)
+            .map_err(|e| DlError::BadInput(e.to_string()))?;
         self.argmax = Some(argmax);
         self.input_shape = Some(input.shape().clone());
         Ok(out)
@@ -51,6 +66,10 @@ impl Layer for MaxPooling1D {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DlError> {
+        with_scratch(|ws| self.backward_ws(grad_out, ws))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
         let argmax = self
             .argmax
             .as_ref()
@@ -59,7 +78,8 @@ impl Layer for MaxPooling1D {
             .input_shape
             .as_ref()
             .ok_or_else(|| DlError::NotReady("max_pooling1d: missing input shape".into()))?;
-        maxpool1d_backward(shape, grad_out, argmax).map_err(|e| DlError::BadInput(e.to_string()))
+        maxpool1d_backward_ws(shape, grad_out, argmax, ws)
+            .map_err(|e| DlError::BadInput(e.to_string()))
     }
 }
 

@@ -7,7 +7,7 @@
 
 use super::Layer;
 use crate::DlError;
-use tensor::{Shape, Tensor};
+use tensor::{Shape, Tensor, Workspace};
 
 /// Collapses `(batch, steps, channels)` to `(batch, steps*channels)`.
 pub struct Flatten {
@@ -53,6 +53,29 @@ impl Layer for Flatten {
         grad_out
             .clone()
             .reshape(shape.dims().to_vec())
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        self.input_shape = Some(input.shape().clone());
+        let (batch, steps, ch) = input.shape().as_3d();
+        ws.alloc_copy(input)
+            .reshape([batch, steps * ch])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let shape = self
+            .input_shape
+            .clone()
+            .ok_or_else(|| DlError::NotReady("flatten: backward before forward".into()))?;
+        ws.alloc_copy(grad_out)
+            .reshape(shape)
             .map_err(|e| DlError::BadInput(e.to_string()))
     }
 }
@@ -101,6 +124,31 @@ impl Layer for Reshape3 {
         let (batch, steps, ch) = grad_out.shape().as_3d();
         grad_out
             .clone()
+            .reshape([batch, steps * ch])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        _training: bool,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DlError> {
+        let (batch, features) = input.shape().as_2d();
+        if features != self.steps * self.channels {
+            return Err(DlError::BadInput(format!(
+                "reshape3 expects {} features, got {features}",
+                self.steps * self.channels
+            )));
+        }
+        ws.alloc_copy(input)
+            .reshape([batch, self.steps, self.channels])
+            .map_err(|e| DlError::BadInput(e.to_string()))
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, DlError> {
+        let (batch, steps, ch) = grad_out.shape().as_3d();
+        ws.alloc_copy(grad_out)
             .reshape([batch, steps * ch])
             .map_err(|e| DlError::BadInput(e.to_string()))
     }

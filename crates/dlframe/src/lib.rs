@@ -39,7 +39,7 @@ pub use data::Dataset;
 pub use history::{EpochStats, History};
 pub use layers::{ActivationLayer, Conv1D, Dense, Dropout, Flatten, Layer, MaxPooling1D, Reshape3};
 pub use loss::Loss;
-pub use model::{FitConfig, GradientSync, NoSync, Sequential};
+pub use model::{FitConfig, GradientSync, HotStats, NoSync, Sequential};
 pub use optimizer::{Optimizer, OptimizerKind, SlotSnapshot};
 pub use schedule::LrSchedule;
 

@@ -9,7 +9,7 @@
 //! stays linear and the softmax is fused into the loss, which gives the
 //! numerically exact gradient `(softmax(z) - target) / batch`.
 
-use tensor::Tensor;
+use tensor::{with_scratch, Tensor, Workspace};
 
 /// A differentiable training objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,20 @@ impl Loss {
     /// # Panics
     /// Panics if shapes differ.
     pub fn loss_and_grad(self, pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        with_scratch(|ws| self.loss_and_grad_ws(pred, target, ws))
+    }
+
+    /// [`Loss::loss_and_grad`] drawing the gradient tensor from a
+    /// [`Workspace`] pool, so the training hot loop allocates nothing here.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn loss_and_grad_ws(
+        self,
+        pred: &Tensor,
+        target: &Tensor,
+        ws: &mut Workspace,
+    ) -> (f64, Tensor) {
         assert_eq!(
             pred.shape(),
             target.shape(),
@@ -35,7 +49,8 @@ impl Loss {
         match self {
             Loss::SoftmaxCrossEntropy => {
                 let (batch, _classes) = pred.shape().as_2d();
-                let probs = pred.softmax_rows();
+                let mut probs = ws.alloc_copy(pred);
+                probs.softmax_rows_inplace();
                 // Mean negative log-likelihood of the true class.
                 let mut loss = 0.0f64;
                 for (p, t) in probs.data().iter().zip(target.data()) {
@@ -53,11 +68,13 @@ impl Loss {
             }
             Loss::MeanSquaredError => {
                 let n = pred.len().max(1);
-                let diff = pred.sub(target).expect("shapes checked above");
+                let mut diff = ws.alloc_copy(pred);
+                for (d, &t) in diff.data_mut().iter_mut().zip(target.data()) {
+                    *d -= t;
+                }
                 let loss = diff.sum_squares() / n as f64;
-                let mut grad = diff;
-                grad.scale(2.0 / n as f32);
-                (loss, grad)
+                diff.scale(2.0 / n as f32);
+                (loss, diff)
             }
         }
     }

@@ -6,7 +6,8 @@ use crate::layers::Layer;
 use crate::loss::Loss;
 use crate::optimizer::Optimizer;
 use crate::{Dataset, DlError};
-use tensor::Tensor;
+use std::time::{Duration, Instant};
+use tensor::{Tensor, Workspace};
 use xrng::Rng;
 
 /// Hook invoked on the flattened gradient vector after backward and before
@@ -58,12 +59,34 @@ impl Default for FitConfig {
     }
 }
 
+/// Wall-clock accounting of the training hot path, split into the three
+/// phases the paper's per-phase profiles use (forward, backward, optimizer
+/// step — the optimizer bucket includes gradient flatten/sync/scatter).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HotStats {
+    /// Total time in layer forward passes plus the loss.
+    pub forward: Duration,
+    /// Total time in layer backward passes.
+    pub backward: Duration,
+    /// Total time in gradient sync and optimizer updates.
+    pub optimizer: Duration,
+    /// Number of batches accumulated into the totals.
+    pub batches: u64,
+}
+
 /// A linear stack of layers trained with backpropagation.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     loss: Option<Loss>,
     optimizer: Option<Optimizer>,
     rng: Rng,
+    /// Pooled scratch buffers for the training hot path: activations,
+    /// gradients, and GEMM packing all draw from here, so steady-state
+    /// training performs no per-batch heap allocation.
+    ws: Workspace,
+    /// Flat gradient buffer reused across batches for sync + optimizer.
+    flat_buf: Vec<f32>,
+    hot: HotStats,
 }
 
 impl Sequential {
@@ -74,7 +97,20 @@ impl Sequential {
             loss: None,
             optimizer: None,
             rng: xrng::seeded(xrng::derive_seed(seed, 0xF17)),
+            ws: Workspace::new(),
+            flat_buf: Vec::new(),
+            hot: HotStats::default(),
         }
+    }
+
+    /// Accumulated hot-path timings since the last reset.
+    pub fn hot_stats(&self) -> HotStats {
+        self.hot
+    }
+
+    /// Clears the hot-path timing accumulators.
+    pub fn reset_hot_stats(&mut self) {
+        self.hot = HotStats::default();
     }
 
     /// Appends a layer.
@@ -229,6 +265,11 @@ impl Sequential {
 
     /// Trains on one already-materialized batch, returning the batch loss
     /// and (for classifiers) the number of argmax-correct predictions.
+    ///
+    /// This is the zero-allocation hot path: activations and gradients come
+    /// from the model's [`Workspace`] pool and are recycled as the chain
+    /// advances, gradients flow through one reused flat buffer, and the
+    /// optimizer updates parameter slices in place.
     pub fn train_batch(
         &mut self,
         x: &Tensor,
@@ -238,40 +279,71 @@ impl Sequential {
         let loss_fn = self
             .loss
             .ok_or_else(|| DlError::NotReady("compile before fit".into()))?;
-        let pred = self.forward(x, true)?;
-        let (loss, grad) = loss_fn.loss_and_grad(&pred, y);
+        if self.layers.is_empty() {
+            return Err(DlError::NotReady("model has no layers".into()));
+        }
+        if self.optimizer.is_none() {
+            return Err(DlError::NotReady("compile before fit".into()));
+        }
+        // Forward chain, recycling each intermediate activation once the
+        // next layer has consumed it (layers cache what backward needs).
+        let fwd_start = Instant::now();
+        let mut h: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let out = match h.as_ref() {
+                Some(t) => layer.forward_ws(t, true, &mut self.ws)?,
+                None => layer.forward_ws(x, true, &mut self.ws)?,
+            };
+            if let Some(prev) = h.replace(out) {
+                self.ws.recycle(prev);
+            }
+        }
+        let pred = h.expect("at least one layer");
+        let (loss, grad) = loss_fn.loss_and_grad_ws(&pred, y, &mut self.ws);
         let correct = count_argmax_matches(&pred, y);
-        // Backward through the stack.
+        self.ws.recycle(pred);
+        self.hot.forward += fwd_start.elapsed();
+        // Backward through the stack, recycling each upstream gradient.
+        let bwd_start = Instant::now();
         let mut g = grad;
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+            let gi = layer.backward_ws(&g, &mut self.ws)?;
+            self.ws.recycle(std::mem::replace(&mut g, gi));
         }
-        // Gradient synchronization on the flat layout, then scatter back.
-        let mut flat = self.flat_grads();
-        sync.sync_gradients(&mut flat);
+        self.ws.recycle(g);
+        self.hot.backward += bwd_start.elapsed();
+        // Gradient synchronization on the flat layout, then scatter back so
+        // external observers of `grads()` see the synchronized values.
+        let opt_start = Instant::now();
+        self.flat_buf.clear();
+        for layer in &self.layers {
+            layer.for_each_grad(&mut |gt| self.flat_buf.extend_from_slice(gt.data()));
+        }
+        sync.sync_gradients(&mut self.flat_buf);
         let mut offset = 0;
         for layer in &mut self.layers {
-            for gt in layer.grads_mut() {
+            layer.for_each_grad_mut(&mut |gt| {
                 let n = gt.len();
-                gt.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                gt.data_mut()
+                    .copy_from_slice(&self.flat_buf[offset..offset + n]);
                 offset += n;
-            }
+            });
         }
-        // Optimizer step, slot per parameter tensor.
-        let opt = self
-            .optimizer
-            .as_mut()
-            .ok_or_else(|| DlError::NotReady("compile before fit".into()))?;
+        // Optimizer step, slot per parameter tensor, reading each slot's
+        // gradient window straight out of the flat buffer.
+        let opt = self.optimizer.as_mut().expect("checked above");
         let mut slot = 0;
+        let mut offset = 0;
         for layer in &mut self.layers {
-            // Split borrow: collect grads first (cloned refs are cheap — the
-            // tensors are small relative to the matmuls already done).
-            let grads: Vec<Tensor> = layer.grads().into_iter().cloned().collect();
-            for (p, g) in layer.params_mut().into_iter().zip(&grads) {
-                opt.update(slot, p, g);
+            layer.for_each_param_mut(&mut |p| {
+                let n = p.len();
+                opt.update_slice(slot, p.data_mut(), &self.flat_buf[offset..offset + n]);
                 slot += 1;
-            }
+                offset += n;
+            });
         }
+        self.hot.optimizer += opt_start.elapsed();
+        self.hot.batches += 1;
         Ok((loss, correct))
     }
 
@@ -315,6 +387,11 @@ impl Sequential {
         let mut history = History::new();
         let mut best_monitor = f64::INFINITY;
         let mut stale_epochs = 0usize;
+        // Batch tensors persist across the whole fit; `batch_into` reuses
+        // their buffers, so batch materialization is allocation-free after
+        // the first (full-size) batch.
+        let mut bx = Tensor::zeros([1, 1]);
+        let mut by = Tensor::zeros([1, 1]);
         for epoch in 0..config.epochs {
             let batches =
                 train.batch_indices(config.batch_size, config.shuffle.then_some(&mut self.rng));
@@ -322,8 +399,8 @@ impl Sequential {
             let mut correct = 0usize;
             let steps = batches.len();
             for idx in &batches {
-                let (x, y) = train.batch(idx);
-                let (loss, c) = self.train_batch(&x, &y, sync)?;
+                train.batch_into(idx, &mut bx, &mut by);
+                let (loss, c) = self.train_batch(&bx, &by, sync)?;
                 loss_sum += loss;
                 correct += c;
             }
@@ -432,15 +509,33 @@ impl Sequential {
 /// Counts rows where prediction and target argmax agree (classification
 /// accuracy numerator). For single-column outputs this degenerates to
 /// "always 0 matches count" — regression callers ignore it.
+///
+/// Row-at-a-time with the same first-max tie rule as
+/// [`Tensor::argmax_rows`], without materializing the index vectors.
 fn count_argmax_matches(pred: &Tensor, target: &Tensor) -> usize {
     if pred.shape().rank() != 2 {
         return 0;
     }
-    pred.argmax_rows()
-        .into_iter()
-        .zip(target.argmax_rows())
-        .filter(|(a, b)| a == b)
+    let (_, cols) = pred.shape().as_2d();
+    if cols == 0 {
+        return 0;
+    }
+    pred.data()
+        .chunks_exact(cols)
+        .zip(target.data().chunks_exact(cols))
+        .filter(|(p, t)| argmax_slice(p) == argmax_slice(t))
         .count()
+}
+
+/// Index of the first maximum of a non-empty row.
+fn argmax_slice(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in row.iter().enumerate().skip(1) {
+        if x > row[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -192,6 +192,16 @@ impl Optimizer {
     /// # Panics
     /// Panics if `param` and `grad` lengths differ.
     pub fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        self.update_slice(slot, param.data_mut(), grad.data());
+    }
+
+    /// [`Optimizer::update`] on raw slices. This is the form the training
+    /// hot loop uses: the model keeps all gradients in one flat buffer and
+    /// hands each slot's window here, so no gradient tensors are cloned.
+    ///
+    /// # Panics
+    /// Panics if `param` and `grad` lengths differ.
+    pub fn update_slice(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
         assert_eq!(
             param.len(),
             grad.len(),
@@ -202,7 +212,7 @@ impl Optimizer {
         }
         if self.weight_decay > 0.0 {
             let shrink = 1.0 - self.lr * self.weight_decay;
-            for p in param.data_mut() {
+            for p in param.iter_mut() {
                 *p *= shrink;
             }
         }
@@ -211,19 +221,14 @@ impl Optimizer {
         match self.kind {
             OptimizerKind::Sgd { momentum } => {
                 if momentum == 0.0 {
-                    for (p, &g) in param.data_mut().iter_mut().zip(grad.data()) {
+                    for (p, &g) in param.iter_mut().zip(grad) {
                         *p -= self.lr * g;
                     }
                 } else {
                     if state.m.len() != n {
                         state.m = vec![0.0; n];
                     }
-                    for ((p, &g), v) in param
-                        .data_mut()
-                        .iter_mut()
-                        .zip(grad.data())
-                        .zip(&mut state.m)
-                    {
+                    for ((p, &g), v) in param.iter_mut().zip(grad).zip(&mut state.m) {
                         *v = momentum * *v - self.lr * g;
                         *p += *v;
                     }
@@ -245,9 +250,8 @@ impl Optimizer {
                 let bc2 = 1.0 - (beta2 as f64).powf(t);
                 let alpha = self.lr as f64 * bc2.sqrt() / bc1;
                 for (((p, &g), m), v) in param
-                    .data_mut()
                     .iter_mut()
-                    .zip(grad.data())
+                    .zip(grad)
                     .zip(&mut state.m)
                     .zip(&mut state.v)
                 {
@@ -260,12 +264,7 @@ impl Optimizer {
                 if state.v.len() != n {
                     state.v = vec![0.0; n];
                 }
-                for ((p, &g), v) in param
-                    .data_mut()
-                    .iter_mut()
-                    .zip(grad.data())
-                    .zip(&mut state.v)
-                {
+                for ((p, &g), v) in param.iter_mut().zip(grad).zip(&mut state.v) {
                     *v = rho * *v + (1.0 - rho) * g * g;
                     *p -= self.lr * g / (v.sqrt() + epsilon);
                 }

@@ -23,6 +23,7 @@ mod figures_improve;
 mod figures_strong;
 mod figures_weak;
 mod functional;
+mod kernels_table;
 mod report;
 mod resil_table;
 mod serve_table;
@@ -39,6 +40,7 @@ pub use figures_improve::{fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use figures_strong::{fig6, fig7, fig8, fig9};
 pub use figures_weak::{fig18, fig19, fig20, fig21};
 pub use functional::{accuracy_sweep, AccuracyPoint};
+pub use kernels_table::{measure_kernel_comparison, table_kernels, KernelComparison};
 pub use report::{format_table, Experiment};
 pub use resil_table::table_resil;
 pub use serve_table::{measure_serving_sweep, table_serve, ServingRow};
@@ -79,6 +81,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         fig21(),
         table_serve(quick),
         table_resil(quick),
+        table_kernels(quick),
     ]
 }
 
@@ -87,7 +90,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 25);
+        assert_eq!(experiments.len(), 26);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -99,5 +102,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table_cache"));
         assert!(experiments.iter().any(|e| e.id == "table_serve"));
         assert!(experiments.iter().any(|e| e.id == "table_resil"));
+        assert!(experiments.iter().any(|e| e.id == "table_kernels"));
     }
 }

@@ -23,7 +23,7 @@ mod scope;
 
 pub use chunk::{chunk_ranges, Chunk};
 pub use pool::WorkerPool;
-pub use scope::{parallel_for, parallel_map, parallel_reduce};
+pub use scope::{parallel_for, parallel_for_grained, parallel_map, parallel_reduce};
 
 /// Returns the degree of parallelism used by default: the number of
 /// available hardware threads, with a floor of one.

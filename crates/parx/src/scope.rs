@@ -52,6 +52,54 @@ where
     });
 }
 
+/// Like [`parallel_for`], but with an explicit grain: the thread count is
+/// *reduced* (rather than falling back to fully sequential) until every
+/// chunk holds at least `min_items_per_thread` items, and the sequential
+/// path runs without any heap allocation.
+///
+/// Unlike [`parallel_for`], the chunk partition depends on the effective
+/// thread count, so callers must only use bodies whose results do not
+/// depend on how `0..n` is grouped (e.g. disjoint-slice writes where each
+/// index's output is computed independently). The GEMM engine in `tensor`
+/// is the intended caller: its row panels are independent by construction.
+pub fn parallel_for_grained<F>(n: usize, threads: usize, min_items_per_thread: usize, body: F)
+where
+    F: Fn(Chunk) + Sync,
+{
+    assert!(threads > 0, "parallel_for_grained: threads must be positive");
+    if n == 0 {
+        return;
+    }
+    let grain = min_items_per_thread.max(1);
+    let t = threads.min((n / grain).max(1));
+    if t == 1 {
+        // Allocation-free sequential path (no `chunk_ranges` Vec).
+        body(Chunk {
+            index: 0,
+            start: 0,
+            end: n,
+        });
+        return;
+    }
+    let chunks = chunk_ranges(n, t);
+    std::thread::scope(|scope| {
+        let (first, rest) = chunks.split_first().expect("nonempty by construction");
+        let handles: Vec<_> = rest
+            .iter()
+            .map(|&c| {
+                scope.spawn({
+                    let body = &body;
+                    move || body(c)
+                })
+            })
+            .collect();
+        body(*first);
+        for h in handles {
+            h.join().expect("parallel_for_grained worker panicked");
+        }
+    });
+}
+
 /// Maps `f` over `0..n` in parallel and collects results in index order.
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
@@ -146,6 +194,34 @@ mod tests {
     #[test]
     fn parallel_for_zero_items_is_noop() {
         parallel_for(0, 4, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_for_grained_touches_every_index_once() {
+        for (n, threads, grain) in [(10_000, 8, 1), (100, 8, 64), (7, 4, 1), (1, 16, 256)] {
+            let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for_grained(n, threads, grain, |chunk| {
+                for i in chunk.start..chunk.end {
+                    counters[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                counters.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "missed index for n={n} threads={threads} grain={grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_for_grained_caps_threads_by_grain() {
+        // 100 items with grain 64 admit only one full-grain chunk, so the
+        // body must see the whole range as a single chunk.
+        let calls = AtomicUsize::new(0);
+        parallel_for_grained(100, 8, 64, |chunk| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!((chunk.start, chunk.end), (0, 100));
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

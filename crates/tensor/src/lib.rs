@@ -13,18 +13,25 @@
 //! the flat layout keeps the hot kernels readable and autovectorizable.
 
 mod conv;
+mod gemm;
 mod init;
 mod matmul;
 mod ops;
+pub mod reference;
 mod shape;
 
 pub use conv::{
-    conv1d_backward, conv1d_forward, conv1d_output_len, maxpool1d_backward, maxpool1d_forward,
+    conv1d_backward, conv1d_backward_ws, conv1d_forward, conv1d_forward_ws, conv1d_output_len,
+    maxpool1d_backward, maxpool1d_backward_ws, maxpool1d_forward, maxpool1d_forward_ws,
     pool1d_output_len,
+};
+pub use gemm::{
+    gemm_into, gemm_into_with_threads, gemm_slice, sigmoid, with_scratch, Epilogue, FusedAct,
+    GemmMode, Workspace, MR, NR,
 };
 pub use init::{glorot_uniform, he_normal, Initializer};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 
 /// Errors produced by tensor constructors and kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,10 +182,29 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let (_, cols) = self.shape.as_2d();
         let mut out = Tensor::zeros([indices.len(), cols]);
-        for (dst, &src) in indices.iter().enumerate() {
-            out.data[dst * cols..(dst + 1) * cols].copy_from_slice(self.row(src));
-        }
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// Copies the given rows of a rank-2 tensor into `out`, reshaping it to
+    /// `(indices.len(), cols)`. Allocation-free once `out`'s buffer is large
+    /// enough — the batch-assembly primitive of the training hot path.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        let (_, cols) = self.shape.as_2d();
+        out.shape = Shape::new(&[indices.len(), cols]);
+        out.data.clear();
+        out.data.reserve(indices.len() * cols);
+        for &src in indices {
+            out.data.extend_from_slice(self.row(src));
+        }
+    }
+
+    /// Makes `self` an exact copy of `src` (shape and data) without
+    /// allocating when the existing buffer has enough capacity.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape = src.shape.clone();
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 }
 
@@ -252,6 +278,30 @@ mod tests {
         let g = t.gather_rows(&[3, 0, 3]);
         assert_eq!(g.shape().dims(), &[3, 2]);
         assert_eq!(g.data(), &[6.0, 7.0, 0.0, 1.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_reuses_buffer() {
+        let t = Tensor::from_fn([4, 2], |i| i as f32);
+        let mut out = Tensor::zeros([3, 2]);
+        let ptr = out.data().as_ptr();
+        t.gather_rows_into(&[1, 1, 2], &mut out);
+        assert_eq!(out.data(), &[2.0, 3.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(out.data().as_ptr(), ptr, "buffer must be reused");
+        // Shrinking reshapes too.
+        t.gather_rows_into(&[0], &mut out);
+        assert_eq!(out.shape().dims(), &[1, 2]);
+        assert_eq!(out.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_without_alloc() {
+        let src = Tensor::from_fn([2, 3], |i| i as f32);
+        let mut dst = Tensor::zeros([6]);
+        let ptr = dst.data().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.data().as_ptr(), ptr, "buffer must be reused");
     }
 
     #[test]

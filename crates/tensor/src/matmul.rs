@@ -1,24 +1,46 @@
 //! Matrix products.
 //!
-//! Three kernels cover every need of dense-layer forward and backward
-//! passes:
+//! Three drop-in entry points cover every need of dense-layer forward and
+//! backward passes:
 //!
-//! * `matmul`    — `C = A·B`              (forward activations)
-//! * `matmul_at_b` — `C = Aᵀ·B`           (weight gradients: xᵀ·δ)
-//! * `matmul_a_bt` — `C = A·Bᵀ`           (input gradients: δ·Wᵀ)
+//! * `matmul`      — `C = A·B`    (forward activations)
+//! * `matmul_at_b` — `C = Aᵀ·B`   (weight gradients: xᵀ·δ)
+//! * `matmul_a_bt` — `C = A·Bᵀ`   (input gradients: δ·Wᵀ)
 //!
-//! All three parallelize over output rows with `parx::parallel_for` (chunked
-//! and deterministic) and use an i-k-j loop order so the innermost loop
-//! streams both operands contiguously — the standard cache-friendly layout
-//! for row-major data that LLVM autovectorizes well.
+//! All three are thin wrappers over the blocked GEMM engine in
+//! [`crate::gemm`]: one packed, register-blocked micro-kernel with the
+//! transpositions expressed as packing modes. Each call runs on this
+//! thread's scratch [`crate::Workspace`]; callers on the training hot path
+//! should prefer [`crate::gemm_into`] with an owned workspace to reuse the
+//! output buffer too.
 
+use crate::gemm::{gemm_slice, with_scratch, Epilogue, GemmMode};
 use crate::{Tensor, TensorError};
 
-/// Number of worker threads used by the matrix kernels. Tuned once at
-/// startup; matmuls in this workspace are wide enough that the default
-/// hardware parallelism is the right choice.
-fn kernel_threads() -> usize {
-    parx::default_threads()
+fn product(
+    mode: GemmMode,
+    a: &Tensor,
+    b: &Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Tensor, TensorError> {
+    let mut c = Tensor::zeros([m, n]);
+    with_scratch(|ws| {
+        gemm_slice(
+            mode,
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            c.data_mut(),
+            &Epilogue::NONE,
+            0,
+            ws,
+        );
+    });
+    Ok(c)
 }
 
 /// `C = A·B` for `A: (m×k)`, `B: (k×n)`.
@@ -31,29 +53,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             right: b.shape().clone(),
         });
     }
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = RawRows {
-        base: c.data_mut().as_mut_ptr() as usize,
-    };
-    parx::parallel_for(m, kernel_threads(), |chunk| {
-        for i in chunk.start..chunk.end {
-            // SAFETY: each output row i is written by exactly one chunk.
-            let crow =
-                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(i * n), n) };
-            let arow = &ad[i * ka..(i + 1) * ka];
-            for (l, &aval) in arow.iter().enumerate() {
-                if aval == 0.0 {
-                    continue;
-                }
-                let brow = &bd[l * n..(l + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aval * bv;
-                }
-            }
-        }
-    });
-    Ok(c)
+    product(GemmMode::Ab, a, b, m, ka, n)
 }
 
 /// `C = Aᵀ·B` for `A: (m×k)`, `B: (m×n)`, producing `(k×n)`.
@@ -66,31 +66,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             right: b.shape().clone(),
         });
     }
-    let mut c = Tensor::zeros([k, n]);
-    let (ad, bd) = (a.data(), b.data());
-    // Parallelize over output rows (columns of A). Each output row j gathers
-    // a[i][j] * b[i][*] over all samples i.
-    let cd = RawRows {
-        base: c.data_mut().as_mut_ptr() as usize,
-    };
-    parx::parallel_for(k, kernel_threads(), |chunk| {
-        for j in chunk.start..chunk.end {
-            // SAFETY: disjoint output rows per chunk.
-            let crow =
-                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(j * n), n) };
-            for i in 0..ma {
-                let aval = ad[i * k + j];
-                if aval == 0.0 {
-                    continue;
-                }
-                let brow = &bd[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aval * bv;
-                }
-            }
-        }
-    });
-    Ok(c)
+    product(GemmMode::AtB, a, b, k, ma, n)
 }
 
 /// `C = A·Bᵀ` for `A: (m×k)`, `B: (n×k)`, producing `(m×n)`.
@@ -103,41 +79,13 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             right: b.shape().clone(),
         });
     }
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = RawRows {
-        base: c.data_mut().as_mut_ptr() as usize,
-    };
-    parx::parallel_for(m, kernel_threads(), |chunk| {
-        for i in chunk.start..chunk.end {
-            let arow = &ad[i * ka..(i + 1) * ka];
-            // SAFETY: disjoint output rows per chunk.
-            let crow =
-                unsafe { std::slice::from_raw_parts_mut((cd.base as *mut f32).add(i * n), n) };
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &bd[j * ka..(j + 1) * ka];
-                // Dot product of two contiguous rows.
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
-    });
-    Ok(c)
+    product(GemmMode::ABt, a, b, m, ka, n)
 }
-
-/// Shares a mutable base pointer across scoped threads for disjoint-row
-/// writes.
-struct RawRows {
-    base: usize,
-}
-unsafe impl Sync for RawRows {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference;
     use proptest::prelude::*;
     use xrng::RandomSource;
 
@@ -230,6 +178,34 @@ mod tests {
         let a = Tensor::from_vec([1, 1], vec![3.0]).unwrap();
         let b = Tensor::from_vec([1, 1], vec![4.0]).unwrap();
         assert_eq!(matmul(&a, &b).unwrap().data(), &[12.0]);
+    }
+
+    #[test]
+    fn matches_seed_kernels() {
+        // The retained seed kernels are an independent oracle for all
+        // three wrappers (summation order matches modulo the old
+        // zero-skip, hence the small tolerance).
+        let a = random_tensor(17, 33, 100);
+        let b = random_tensor(33, 9, 101);
+        assert_close(
+            &matmul(&a, &b).unwrap(),
+            &reference::matmul_seed(&a, &b).unwrap(),
+            1e-5,
+        );
+        let x = random_tensor(21, 13, 102);
+        let d = random_tensor(21, 6, 103);
+        assert_close(
+            &matmul_at_b(&x, &d).unwrap(),
+            &reference::matmul_at_b_seed(&x, &d).unwrap(),
+            1e-5,
+        );
+        let g = random_tensor(12, 19, 104);
+        let w = random_tensor(8, 19, 105);
+        assert_close(
+            &matmul_a_bt(&g, &w).unwrap(),
+            &reference::matmul_a_bt_seed(&g, &w).unwrap(),
+            1e-5,
+        );
     }
 
     proptest! {

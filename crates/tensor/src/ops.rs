@@ -109,12 +109,24 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         let (_, cols) = self.shape().as_2d();
         let mut out = Tensor::zeros([cols]);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Row-sum reduction into an existing length-`cols` tensor
+    /// (allocation-free variant of [`Tensor::sum_rows`]).
+    ///
+    /// # Panics
+    /// Panics if `out` does not have exactly `cols` elements.
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
+        let (_, cols) = self.shape().as_2d();
+        assert_eq!(out.len(), cols, "sum_rows_into: output length mismatch");
+        out.data_mut().fill(0.0);
         for row in self.data().chunks_exact(cols) {
             for (o, &x) in out.data_mut().iter_mut().zip(row) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Index of the largest element in each row of a rank-2 tensor.
@@ -136,10 +148,16 @@ impl Tensor {
 
     /// Row-wise softmax of a rank-2 tensor (numerically stabilized).
     pub fn softmax_rows(&self) -> Tensor {
-        let (rows, cols) = self.shape().as_2d();
         let mut out = self.clone();
-        for r in 0..rows {
-            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// In-place row-wise softmax (same math and evaluation order as
+    /// [`Tensor::softmax_rows`], without the clone).
+    pub fn softmax_rows_inplace(&mut self) {
+        let (_, cols) = self.shape().as_2d();
+        for row in self.data_mut().chunks_exact_mut(cols) {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
             for x in row.iter_mut() {
@@ -151,7 +169,6 @@ impl Tensor {
                 *x *= inv;
             }
         }
-        out
     }
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {

@@ -1,39 +1,60 @@
 //! Tensor shapes and row-major index math.
 
+/// Maximum rank a [`Shape`] can hold.
+///
+/// The workspace uses rank 0 (scalar) through rank 3; 4 leaves headroom.
+pub const MAX_RANK: usize = 4;
+
 /// A tensor shape: an ordered list of dimension extents.
 ///
-/// Rank 0 (scalar) through rank 3 are used in the workspace; the type
-/// supports any rank.
+/// Extents are stored inline (no heap allocation), so cloning a shape —
+/// which the training hot path does for every cached activation — is a
+/// plain memcpy. Dimensions beyond `rank` are kept at zero so the derived
+/// `Eq`/`Hash` stay consistent.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
-    dims: Vec<usize>,
+    dims: [usize; MAX_RANK],
+    rank: usize,
 }
 
 impl Shape {
     /// Creates a shape from dimensions.
-    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
-        Self { dims: dims.into() }
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_RANK`] dimensions are given.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape supports rank <= {MAX_RANK}, got {}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: inline,
+            rank: dims.len(),
+        }
     }
 
     /// The dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank]
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank
     }
 
     /// Total number of elements (product of extents; 1 for a scalar).
     pub fn volume(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides: the flat-index step for each dimension.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+        let mut strides = vec![1; self.rank];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
@@ -75,7 +96,7 @@ impl Shape {
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "(")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "×")?;
             }
@@ -87,19 +108,25 @@ impl std::fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
         Shape::new(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::new(&dims)
     }
 }
 
 impl From<usize> for Shape {
     fn from(dim: usize) -> Self {
-        Shape::new(vec![dim])
+        Shape::new(&[dim])
     }
 }
 
@@ -113,14 +140,14 @@ mod tests {
         let s = Shape::from([2, 3, 4]);
         assert_eq!(s.rank(), 3);
         assert_eq!(s.volume(), 24);
-        assert_eq!(Shape::new(vec![]).volume(), 1);
+        assert_eq!(Shape::new(&[]).volume(), 1);
     }
 
     #[test]
     fn strides_are_row_major() {
         assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
         assert_eq!(Shape::from([5]).strides(), vec![1]);
-        assert_eq!(Shape::new(vec![]).strides(), Vec::<usize>::new());
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
     }
 
     #[test]
@@ -150,6 +177,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "rank <= 4")]
+    fn over_max_rank_panics() {
+        Shape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn padded_dims_do_not_affect_equality() {
+        assert_eq!(Shape::from([2, 3]), Shape::from(vec![2, 3]));
+        assert_ne!(Shape::from([2, 3]), Shape::from([2, 3, 0]));
+    }
+
+    #[test]
     fn display_format() {
         assert_eq!(Shape::from([2, 3]).to_string(), "(2×3)");
     }
@@ -157,7 +196,7 @@ mod tests {
     proptest! {
         #[test]
         fn flat_index_is_bijective(dims in proptest::collection::vec(1usize..6, 1..4)) {
-            let s = Shape::new(dims.clone());
+            let s = Shape::new(&dims);
             let strides = s.strides();
             // Decompose every flat index into a multi-index and check that
             // flat_index inverts the decomposition.

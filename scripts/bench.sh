@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Kernel benchmark pass, fully offline. Runs the Criterion kernel
+# microbenches in --quick mode, then emits the machine-readable
+# seed-vs-blocked comparison to BENCH_KERNELS.json at the repo root
+# (names, ns/iter, GFLOP/s, speedup) for CI to archive per commit.
+#
+# Usage: scripts/bench.sh [quick|full]
+#   quick (default) — shrunken shapes, finishes in a couple of minutes
+#   full            — paper-scale shapes (P1B1 512x960x1024, NT3 conv)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-quick}"
+
+echo "==> criterion kernel benches (--quick)"
+cargo bench -p candle-bench --features criterion --offline --bench kernels -- --quick
+
+echo "==> seed-vs-blocked comparison -> BENCH_KERNELS.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_kernels_json -- --quick --out BENCH_KERNELS.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_kernels_json -- --out BENCH_KERNELS.json
+fi
+
+echo "==> bench OK"
