@@ -5,7 +5,8 @@
 //! the chunked `low_memory=False` analogue beats the pandas-default
 //! analogue by a large factor on wide files (NT3/P1B1/P1B2 shapes) and by
 //! almost nothing on narrow files (P1B3 shape), with Dask in between on
-//! wide files.
+//! wide files. The turbo engine (SWAR structural scan + allocation-free
+//! parallel parse) goes beyond the paper's fix on both geometries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dataio::{generate, read_csv, write_csv_dataset, ClassSpec, ReadStrategy, SyntheticSpec};
@@ -35,6 +36,7 @@ fn bench_geometry(c: &mut Criterion, label: &str, file: &TestFile) {
         ("pandas_default", ReadStrategy::PandasDefault),
         ("chunked_low_memory_false", ReadStrategy::ChunkedLowMemory),
         ("dask_parallel", ReadStrategy::DaskParallel),
+        ("turbo_parallel", ReadStrategy::TurboParallel),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
             b.iter(|| {

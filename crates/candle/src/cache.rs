@@ -10,13 +10,32 @@
 
 use crate::dataset::{benchmark_dataset, BenchDataKind};
 use datacache::format::fnv1a64;
-use datacache::{CacheError, CacheOutcome, CacheStore, PrefetchStats, Prefetcher};
-use dataio::{Column, Frame};
+use datacache::{
+    source_key_for_file, CacheError, CacheOutcome, CacheStore, PrefetchStats, Prefetcher,
+};
+use dataio::{read_csv, Column, Frame, IngestPhases, ReadStrategy};
 use dlframe::Dataset;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tensor::Tensor;
+
+/// Where a cold build gets its source frame from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Generate the benchmark dataset synthetically (the default): the
+    /// key is the benchmark geometry plus seed.
+    Generate,
+    /// Ingest a packed train+test CSV (see [`export_packed_csv`]) with the
+    /// given read strategy: the key is the file identity plus the
+    /// strategy label, so a modified file or a different engine rebuilds.
+    Csv {
+        /// The packed CSV file.
+        path: PathBuf,
+        /// Engine used for the cold parse.
+        strategy: ReadStrategy,
+    },
+}
 
 /// Where and how the pipeline caches its datasets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,20 +47,27 @@ pub struct CacheSpec {
     /// Load warm shards through the background [`Prefetcher`] instead of
     /// sequentially, reporting hit/wait counters in the phase profile.
     pub prefetch: bool,
+    /// Cold-build source: synthetic generation or a CSV ingest.
+    pub source: CacheSource,
 }
 
 /// How the data phase was actually served, with the timings the pipeline
 /// attributes to its phase profile.
 #[derive(Debug, Clone)]
 pub enum DataPhase {
-    /// Cold: the dataset was generated and the shards written.
+    /// Cold: the dataset was generated or ingested and the shards written.
     Cold {
-        /// Time generating the source dataset (the `data_loading` phase).
+        /// Time producing the source dataset (the `data_loading` phase):
+        /// synthetic generation, or the CSV read for a
+        /// [`CacheSource::Csv`] build.
         generate: Duration,
         /// Time encoding and writing shards plus the manifest.
         encode_write: Duration,
         /// Time decoding the freshly written shards back.
         decode: Duration,
+        /// Per-phase ingest attribution (scan / parse / materialize) when
+        /// the source was a CSV read through the turbo engine.
+        ingest: Option<IngestPhases>,
     },
     /// Warm: the dataset came from existing shards.
     Warm {
@@ -79,21 +105,30 @@ pub fn load_benchmark_dataset(
     seed: u64,
     cache: &CacheSpec,
 ) -> Result<(Dataset, Dataset, DataPhase), CacheError> {
-    let (key, desc) = dataset_key(kind, seed);
     let store = CacheStore::new(&cache.root)?;
+    let tag = format!("train_rows={};features={}", kind.train_rows, kind.features);
     let mut generate_time = Duration::ZERO;
-    let (ds, outcome) = store.open_or_build(
-        key,
-        &desc,
-        &format!("train_rows={};features={}", kind.train_rows, kind.features),
-        cache.shards.max(1),
-        || {
-            let start = Instant::now();
-            let (train, test) = benchmark_dataset(kind, seed);
-            generate_time = start.elapsed();
-            Ok(pack_pair(&train, &test))
-        },
-    )?;
+    let mut ingest: Option<IngestPhases> = None;
+    let (ds, outcome) = match &cache.source {
+        CacheSource::Generate => {
+            let (key, desc) = dataset_key(kind, seed);
+            store.open_or_build(key, &desc, &tag, cache.shards.max(1), || {
+                let start = Instant::now();
+                let (train, test) = benchmark_dataset(kind, seed);
+                generate_time = start.elapsed();
+                Ok(pack_pair(&train, &test))
+            })?
+        }
+        CacheSource::Csv { path, strategy } => {
+            let key = source_key_for_file(path, strategy.label())?;
+            store.open_or_build(key, &path.to_string_lossy(), &tag, cache.shards.max(1), || {
+                let (frame, stats) = read_csv(path, *strategy)?;
+                generate_time = stats.elapsed;
+                ingest = stats.ingest;
+                Ok(frame)
+            })?
+        }
+    };
 
     let decode_start = Instant::now();
     let ds = Arc::new(ds);
@@ -116,6 +151,7 @@ pub fn load_benchmark_dataset(
             generate: generate_time,
             encode_write,
             decode,
+            ingest,
         },
         CacheOutcome::WarmHit { manifest_load } => DataPhase::Warm {
             load: manifest_load + decode,
@@ -159,6 +195,42 @@ fn pack_pair(train: &Dataset, test: &Dataset) -> Frame {
         }));
     }
     Frame::new(columns).expect("packed columns share a length")
+}
+
+/// Exports the packed train+test frame of a benchmark (the exact layout
+/// [`pack_pair`] produces) as a headerless numeric CSV, so a pipeline run
+/// with [`CacheSource::Csv`] trains on it bit-identically to synthetic
+/// generation: `f64`'s `Display` prints the shortest string that parses
+/// back to the same value, and the packed values are exact `f32 → f64`
+/// widenings to begin with.
+pub fn export_packed_csv(
+    kind: &BenchDataKind,
+    seed: u64,
+    path: &Path,
+) -> Result<(), std::io::Error> {
+    use std::io::Write;
+    let (train, test) = benchmark_dataset(kind, seed);
+    let frame = pack_pair(&train, &test);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut line = String::new();
+    for r in 0..frame.nrows() {
+        line.clear();
+        for (c, col) in frame.columns().iter().enumerate() {
+            if c > 0 {
+                line.push(',');
+            }
+            match col {
+                Column::Float64(v) => {
+                    use std::fmt::Write as _;
+                    write!(line, "{}", v[r]).expect("formatting into a String cannot fail");
+                }
+                other => unreachable!("pack_pair emits Float64 only, got {:?}", other.dtype()),
+            }
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
 }
 
 /// Inverse of [`pack_pair`], validated against the expected geometry.
@@ -211,6 +283,7 @@ mod tests {
             root: tmp(&format!("{bench:?}")),
             shards: 3,
             prefetch: true,
+            source: CacheSource::Generate,
         }
     }
 
@@ -262,6 +335,46 @@ mod tests {
         assert_eq!(test.x().data(), fe.x().data());
         assert_eq!(test.y().data(), fe.y().data());
         std::fs::remove_dir_all(&cache.root).ok();
+    }
+
+    /// A pipeline fed from an exported CSV trains on bit-identical tensors:
+    /// export → turbo ingest → shard cache must round-trip exactly, and the
+    /// cold build must report the turbo engine's ingest phases.
+    #[test]
+    fn csv_source_round_trips_bit_exactly_and_reports_ingest() {
+        let kind = BenchDataKind::tiny(Bench::Nt3);
+        let root = tmp("csv_source");
+        std::fs::create_dir_all(&root).unwrap();
+        let csv = root.join("packed.csv");
+        export_packed_csv(&kind, 21, &csv).unwrap();
+
+        let cache = CacheSpec {
+            root: root.join("cache"),
+            shards: 3,
+            prefetch: false,
+            source: CacheSource::Csv {
+                path: csv.clone(),
+                strategy: ReadStrategy::TurboParallel,
+            },
+        };
+        let (train, test, phase) = load_benchmark_dataset(&kind, 21, &cache).unwrap();
+        match phase {
+            DataPhase::Cold { ingest, .. } => {
+                assert!(ingest.is_some(), "turbo ingest must report phases");
+            }
+            DataPhase::Warm { .. } => panic!("first open must cold-build"),
+        }
+        let (ft, fe) = benchmark_dataset(&kind, 21);
+        assert_eq!(train.x().data(), ft.x().data());
+        assert_eq!(train.y().data(), ft.y().data());
+        assert_eq!(test.x().data(), fe.x().data());
+        assert_eq!(test.y().data(), fe.y().data());
+
+        // Warm reopen serves the same data without re-ingesting.
+        let (t2, _, p2) = load_benchmark_dataset(&kind, 21, &cache).unwrap();
+        assert!(p2.is_warm());
+        assert_eq!(t2.x().data(), ft.x().data());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

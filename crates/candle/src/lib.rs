@@ -30,7 +30,7 @@ pub mod pipeline;
 pub mod profiler;
 pub mod scaling;
 
-pub use cache::{dataset_key, load_benchmark_dataset, CacheSpec, DataPhase};
+pub use cache::{dataset_key, export_packed_csv, load_benchmark_dataset, CacheSource, CacheSpec, DataPhase};
 pub use dataset::{benchmark_dataset, BenchDataKind};
 pub use models::build_model;
 pub use params::{BenchId, HyperParams};

@@ -193,10 +193,18 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
                     generate,
                     encode_write,
                     decode,
+                    ingest,
                 } => {
                     profile.record("data_loading", generate);
                     profile.record("cache_build", encode_write);
                     profile.record("cache_load", decode);
+                    // Turbo CSV ingests break the load down further:
+                    // structural scan vs parallel parse vs frame build.
+                    if let Some(phases) = ingest {
+                        profile.record("ingest_scan", phases.scan);
+                        profile.record("ingest_parse", phases.parse);
+                        profile.record("ingest_materialize", phases.materialize);
+                    }
                 }
                 DataPhase::Warm { load, prefetch } => {
                     profile.record("cache_load", load);
@@ -338,6 +346,7 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheSource;
     use cluster::calib::Bench;
 
     fn spec(bench: BenchId, workers: usize, total_epochs: usize) -> ParallelRunSpec {
@@ -353,6 +362,58 @@ mod tests {
             data_mode: DataMode::FullReplicated,
             cache: None,
         }
+    }
+
+    /// A run fed from an exported CSV through the turbo engine trains
+    /// bit-identically to the generate-sourced run, and the cold profile
+    /// carries the new ingest phase counters.
+    #[test]
+    fn csv_sourced_run_reports_ingest_phases_and_matches_generate() {
+        let root = std::env::temp_dir()
+            .join(format!("candle_pipe_csv_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        let csv = root.join("packed.csv");
+        let base = spec(Bench::Nt3, 2, 4);
+        crate::cache::export_packed_csv(&base.data, base.seed, &csv).unwrap();
+
+        let mut s = base.clone();
+        s.cache = Some(CacheSpec {
+            root: root.join("cache"),
+            shards: 3,
+            prefetch: false,
+            source: CacheSource::Csv {
+                path: csv,
+                strategy: dataio::ReadStrategy::TurboParallel,
+            },
+        });
+        let cold = run_parallel(&s).unwrap();
+        let cold_phases: Vec<_> = cold
+            .profile
+            .records()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        for phase in ["ingest_scan", "ingest_parse", "ingest_materialize"] {
+            assert!(
+                cold_phases.iter().any(|n| n == phase),
+                "missing {phase} in {cold_phases:?}"
+            );
+        }
+
+        let plain = run_parallel(&base).unwrap();
+        assert_eq!(cold.train_loss, plain.train_loss);
+        assert_eq!(cold.test_accuracy, plain.test_accuracy);
+
+        // The warm rerun skips the ingest entirely.
+        let warm = run_parallel(&s).unwrap();
+        assert_eq!(warm.train_loss, plain.train_loss);
+        assert!(!warm
+            .profile
+            .records()
+            .iter()
+            .any(|r| r.name.starts_with("ingest_")));
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]
@@ -478,6 +539,7 @@ mod tests {
             root: root.clone(),
             shards: 3,
             prefetch: true,
+            source: CacheSource::Generate,
         });
         let cold = run_parallel(&s).unwrap();
         let phases = |o: &ParallelRunOutcome| {

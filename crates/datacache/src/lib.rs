@@ -27,7 +27,7 @@ pub mod prefetch;
 pub mod shard;
 pub mod store;
 
-pub use manifest::{Manifest, ShardEntry};
+pub use manifest::{source_key_for_file, Manifest, ShardEntry};
 pub use prefetch::{PrefetchStats, Prefetched, Prefetcher};
 pub use shard::{decode_shard, encode_shard, DecodedShard};
 pub use store::{CacheOutcome, CacheStore, CachedDataset};

@@ -310,6 +310,30 @@ mod tests {
         std::fs::remove_dir_all(&root).ok();
     }
 
+    /// The turbo strategy flows through the cold-build path unchanged: the
+    /// cached dataset it produces is identical to the chunked strategy's
+    /// (the engines are bit-identical), and the warm hit serves it back.
+    #[test]
+    fn turbo_cold_build_matches_chunked_cache() {
+        let root = tmp_root("turbo");
+        let csv = small_csv(&root.join("src"));
+        let store = CacheStore::new(root.join("cache")).unwrap();
+
+        let (turbo_ds, outcome) = store.open_csv(&csv, ReadStrategy::TurboParallel, 4).unwrap();
+        assert!(!outcome.is_warm(), "first open must cold-build");
+        let (_, warm) = store.open_csv(&csv, ReadStrategy::TurboParallel, 4).unwrap();
+        assert!(warm.is_warm(), "second open must hit the cache");
+
+        // Strategy is part of the cache key, so the chunked open builds
+        // its own entry — and both entries hold the same frame.
+        let (chunked_ds, chunked_outcome) = store
+            .open_csv(&csv, ReadStrategy::ChunkedLowMemory, 4)
+            .unwrap();
+        assert!(!chunked_outcome.is_warm());
+        assert_eq!(turbo_ds.load_all().unwrap(), chunked_ds.load_all().unwrap());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
     #[test]
     fn modified_source_misses_cache() {
         let root = tmp_root("invalidate");

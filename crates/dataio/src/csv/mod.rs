@@ -1,10 +1,13 @@
-//! CSV engine: writer, parser, and the three reader strategies under
-//! comparison in the paper's Tables 3 and 4.
+//! CSV engine: writer, parser, the three reader strategies under
+//! comparison in the paper's Tables 3 and 4, and the [`turbo`] engine
+//! that outruns all of them.
 
 mod parser;
 mod readers;
+pub mod turbo;
 mod writer;
 
 pub use parser::{parse_chunk_typed, split_fields};
-pub use readers::{read_csv, LoadStats, ReadStrategy};
+pub use readers::{read_csv, read_turbo_with_threads, LoadStats, ReadStrategy};
+pub use turbo::IngestPhases;
 pub use writer::write_matrix_csv;

@@ -66,22 +66,31 @@ pub fn parse_chunk_typed(text: &str, expect_cols: Option<usize>) -> Result<Frame
                 }
             }
             match dtype {
-                Dtype::Int64 => Column::Int64(
-                    tokens
-                        .iter()
-                        .map(|t| t.trim().parse::<i64>().unwrap_or(0))
-                        .collect(),
-                ),
-                Dtype::Float64 => Column::Float64(
+                // An Int64 verdict means every token round-tripped through
+                // `parse::<i64>` during inference, so conversion cannot
+                // fail — but if the two passes ever disagree, silently
+                // substituting 0 would corrupt data. Error instead.
+                Dtype::Int64 => {
+                    let mut vals = Vec::with_capacity(tokens.len());
+                    for t in &tokens {
+                        vals.push(t.trim().parse::<i64>().map_err(|_| {
+                            DataError::Malformed(format!("unparsable integer token {t:?}"))
+                        })?);
+                    }
+                    Ok(Column::Int64(vals))
+                }
+                // Floats keep pandas' convention: unparsable → NaN (covers
+                // the empty-field case inference classifies as Float64).
+                Dtype::Float64 => Ok(Column::Float64(
                     tokens
                         .iter()
                         .map(|t| t.trim().parse::<f64>().unwrap_or(f64::NAN))
                         .collect(),
-                ),
-                Dtype::Str => Column::Str(tokens.iter().map(|t| t.to_string()).collect()),
+                )),
+                Dtype::Str => Ok(Column::Str(tokens.iter().map(|t| t.to_string()).collect())),
             }
         })
-        .collect();
+        .collect::<Result<Vec<_>, DataError>>()?;
     Frame::new(columns)
 }
 
@@ -134,5 +143,31 @@ mod tests {
     fn blank_lines_skipped() {
         let f = parse_chunk_typed("1,2\n\n3,4\n", None).unwrap();
         assert_eq!(f.nrows(), 2);
+    }
+
+    /// Regression for the silent-corruption bug: an int-looking token that
+    /// does not fit `i64` must never be materialized as `0`. Overflowing
+    /// tokens parse as `f64` so the column promotes to Float64 with the
+    /// magnitude preserved, and garbage tokens keep the column as Str with
+    /// the text intact — in no case does a `0` appear.
+    #[test]
+    fn unparsable_int_tokens_are_never_zeroed() {
+        // i64::MAX + 1: fails `parse::<i64>`, infers Float64.
+        let f = parse_chunk_typed("1\n9223372036854775808\n", None).unwrap();
+        assert_eq!(f.columns()[0].dtype(), Dtype::Float64);
+        assert_eq!(f.columns()[0].f32_at(1), 9.223372e18);
+        // Garbage token: column stays Str, text preserved verbatim.
+        let f = parse_chunk_typed("1\n12x\n", None).unwrap();
+        assert_eq!(f.columns()[0].dtype(), Dtype::Str);
+        match &f.columns()[0] {
+            Column::Str(vals) => assert_eq!(vals[1], "12x"),
+            other => panic!("expected Str column, got {:?}", other.dtype()),
+        }
+        // Plain int columns still parse exactly.
+        let f = parse_chunk_typed("-3\n0\n9223372036854775807\n", None).unwrap();
+        match &f.columns()[0] {
+            Column::Int64(vals) => assert_eq!(vals, &[-3, 0, i64::MAX]),
+            other => panic!("expected Int64 column, got {:?}", other.dtype()),
+        }
     }
 }

@@ -1,0 +1,684 @@
+//! Turbo ingest engine: SWAR structural scan and zero-copy parallel parse.
+//!
+//! The three seed strategies all pay per-row costs the hardware does not
+//! require: a `Vec<&str>` allocation per record (`split_fields`), a
+//! `str::parse::<f64>` round trip per field, and (for the Dask path) a
+//! fragment concatenation at the end. This module removes all three:
+//!
+//! 1. **Structural scan** — [`scan`] walks the whole-file buffer in 8-byte
+//!    words, locating newlines and counting commas with branch-light SWAR
+//!    bit tricks (no per-byte compare loop on the common path). The result
+//!    is a [`StructuralIndex`]: the byte span of every non-blank record and
+//!    the validated field count, so the exact per-partition row counts are
+//!    known before any parsing happens. UTF-8 is validated once, here.
+//! 2. **Fixed-format numeric parse** — [`parse_f64_fast`] handles the
+//!    plain `[+-]digits[.digits][eE[+-]digits]` tokens of the CANDLE
+//!    matrices with an integer-mantissa fast path that is *bit-identical*
+//!    to `str::parse::<f64>` (Clinger: a `u64` mantissa ≤ 2⁵³ multiplied
+//!    or divided by an exactly-representable power of ten rounds once,
+//!    which is exactly what a correctly-rounded parser produces). Anything
+//!    outside the fast domain falls back to `str::parse` on the original
+//!    token, so semantics never change.
+//! 3. **Allocation-free parallel materialize** — [`parse_into`] splits the
+//!    row range over the `parx` pool; each worker writes every value
+//!    directly into a disjoint slice of the final preallocated column
+//!    storage. No per-row `Vec`s, no `Frame::concat`, and because each
+//!    value is computed independently of the partition layout the result
+//!    is bit-identical at any thread count.
+//!
+//! [`ReadStrategy::TurboParallel`](crate::csv::ReadStrategy) orchestrates
+//! the three steps over a whole-file read and reports the per-phase wall
+//! time as [`IngestPhases`] (surfaced as `LoadStats::ingest` and as the
+//! `ingest_scan` / `ingest_parse` / `ingest_materialize` counters in the
+//! candle phase profiler).
+
+use crate::DataError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Rows below this count per thread are not worth a spawned worker; the
+/// grained parallel-for degrades gracefully to fewer threads.
+pub const ROW_GRAIN: usize = 16;
+
+/// Wall-clock attribution of one turbo read, one entry per pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestPhases {
+    /// File read, one-time UTF-8 validation, and the SWAR structural scan.
+    pub scan: Duration,
+    /// Parallel numeric parse into the preallocated columns.
+    pub parse: Duration,
+    /// Column storage prealloc and final `Frame` construction.
+    pub materialize: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// SWAR primitives
+// ---------------------------------------------------------------------------
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcasts one byte into every lane of a word.
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Exact per-lane zero-byte mask: bit 7 of each lane is set iff that byte
+/// of `v` is zero. Uses the carry-free `(v & 0x7f…) + 0x7f… | v` form — the
+/// classic `(v - LO) & !v & HI` trick admits false positives after a
+/// borrow, which would mis-count commas.
+#[inline(always)]
+fn zero_byte_mask(v: u64) -> u64 {
+    let low7 = (v & !HI).wrapping_add(!HI);
+    !(low7 | v) & HI
+}
+
+/// Per-lane equality mask against a splatted pattern.
+#[inline(always)]
+fn eq_mask(v: u64, pattern: u64) -> u64 {
+    zero_byte_mask(v ^ pattern)
+}
+
+// ---------------------------------------------------------------------------
+// Structural index
+// ---------------------------------------------------------------------------
+
+/// Byte spans of every non-blank record plus the validated field count.
+///
+/// The index is a reusable scratch structure: [`scan`] clears and refills
+/// it without releasing capacity, so steady-state re-scans of same-shaped
+/// buffers perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct StructuralIndex {
+    starts: Vec<u32>,
+    ends: Vec<u32>,
+    width: usize,
+}
+
+impl StructuralIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed (non-blank) records.
+    pub fn rows(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Fields per record (0 until a scan indexes at least one record).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Byte span `[start, end)` of record `row` (trailing `\r` stripped).
+    #[inline]
+    pub fn row_span(&self, row: usize) -> (usize, usize) {
+        (self.starts[row] as usize, self.ends[row] as usize)
+    }
+
+    fn clear(&mut self) {
+        self.starts.clear();
+        self.ends.clear();
+        self.width = 0;
+    }
+
+    /// Records one line ending at `end` (exclusive, the `\n` position or
+    /// EOF) with `commas` commas, skipping blank lines and enforcing a
+    /// rectangular field count.
+    #[inline]
+    fn push_line(&mut self, bytes: &[u8], start: usize, end: usize, commas: u32) -> Result<(), DataError> {
+        let mut e = end;
+        if e > start && bytes[e - 1] == b'\r' {
+            e -= 1;
+        }
+        if e == start {
+            return Ok(()); // blank line (matches `str::lines` + is_empty skip)
+        }
+        let fields = commas as usize + 1;
+        if self.width == 0 {
+            self.width = fields;
+        } else if fields != self.width {
+            return Err(DataError::Malformed(format!(
+                "row {} has {fields} fields, expected {}",
+                self.rows(),
+                self.width
+            )));
+        }
+        self.starts.push(start as u32);
+        self.ends.push(e as u32);
+        Ok(())
+    }
+}
+
+/// Indexes `bytes` into `idx` in a single pass: validates UTF-8 once, then
+/// locates newlines and counts commas eight bytes at a time.
+///
+/// Errors on non-UTF-8 content and on ragged rows. Buffers of 4 GiB or
+/// more are rejected (`u32` offsets); [`read_csv`](crate::csv::read_csv)
+/// falls back to the chunked strategy before that limit.
+pub fn scan(bytes: &[u8], idx: &mut StructuralIndex) -> Result<(), DataError> {
+    idx.clear();
+    if bytes.len() >= u32::MAX as usize {
+        return Err(DataError::Malformed(
+            "file too large for the turbo structural index".into(),
+        ));
+    }
+    // One validation for the whole buffer — the seed readers re-validate
+    // every chunk. All structural bytes (\n , \r) are ASCII, so every span
+    // the index produces stays on char boundaries.
+    if std::str::from_utf8(bytes).is_err() {
+        return Err(DataError::Malformed("non-UTF8 content".into()));
+    }
+
+    let nl = splat(b'\n');
+    let comma = splat(b',');
+    let mut line_start = 0usize;
+    let mut commas_in_line: u32 = 0;
+
+    let mut i = 0usize;
+    let words = bytes.len() / 8;
+    for w in 0..words {
+        let word = u64::from_le_bytes(bytes[w * 8..w * 8 + 8].try_into().unwrap());
+        let comma_mask = eq_mask(word, comma);
+        let mut nl_mask = eq_mask(word, nl);
+        if nl_mask == 0 {
+            // Common path on wide files: whole word inside one record.
+            commas_in_line += comma_mask.count_ones();
+            i += 8;
+            continue;
+        }
+        let mut consumed: u32 = 0;
+        while nl_mask != 0 {
+            let lane = (nl_mask.trailing_zeros() / 8) as usize;
+            // Commas strictly before this newline within the word.
+            let below = if lane == 0 {
+                0
+            } else {
+                (comma_mask & ((1u64 << (lane * 8)) - 1)).count_ones()
+            };
+            idx.push_line(bytes, line_start, i + lane, commas_in_line + (below - consumed))?;
+            commas_in_line = 0;
+            consumed = below;
+            line_start = i + lane + 1;
+            nl_mask &= nl_mask - 1;
+        }
+        commas_in_line += comma_mask.count_ones() - consumed;
+        i += 8;
+    }
+    // Scalar tail (< 8 bytes).
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                idx.push_line(bytes, line_start, i, commas_in_line)?;
+                commas_in_line = 0;
+                line_start = i + 1;
+            }
+            b',' => commas_in_line += 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    if line_start < bytes.len() {
+        // Final record without a trailing newline.
+        idx.push_line(bytes, line_start, bytes.len(), commas_in_line)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-format numeric parsing
+// ---------------------------------------------------------------------------
+
+/// Exactly-representable powers of ten for the Clinger fast path.
+const POW10: [f64; 23] = [
+    1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+    1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+];
+
+/// Parses a plain-format float token, returning `None` whenever the fast
+/// path cannot *prove* bit-identity with `str::parse::<f64>` (too many
+/// digits, exponent outside ±22, specials like `inf`/`NaN`, stray bytes).
+///
+/// The accepted grammar is `[+-]?digits[.digits][eE[+-]?digits]` with at
+/// least one mantissa digit. Correctness: the mantissa is accumulated as a
+/// `u64` and accepted only when ≤ 2⁵³ (exactly representable), and the
+/// decimal exponent only when |e| ≤ 22 (10^e exactly representable), so
+/// the single multiply/divide rounds once — the same value a correctly
+/// rounded parser produces.
+#[inline]
+pub fn parse_f64_fast(token: &[u8]) -> Option<f64> {
+    let n = token.len();
+    if n == 0 {
+        return None;
+    }
+    let mut i = 0usize;
+    let neg = match token[0] {
+        b'-' => {
+            i = 1;
+            true
+        }
+        b'+' => {
+            i = 1;
+            false
+        }
+        _ => false,
+    };
+    let mut mant: u64 = 0;
+    let mut ndigits = 0usize;
+    while i < n && token[i].is_ascii_digit() {
+        mant = mant.wrapping_mul(10).wrapping_add((token[i] - b'0') as u64);
+        ndigits += 1;
+        i += 1;
+    }
+    let mut frac_digits = 0i32;
+    if i < n && token[i] == b'.' {
+        i += 1;
+        while i < n && token[i].is_ascii_digit() {
+            mant = mant.wrapping_mul(10).wrapping_add((token[i] - b'0') as u64);
+            ndigits += 1;
+            frac_digits += 1;
+            i += 1;
+        }
+    }
+    if ndigits == 0 {
+        return None;
+    }
+    let mut exp: i32 = 0;
+    if i < n && (token[i] == b'e' || token[i] == b'E') {
+        i += 1;
+        let eneg = if i < n && (token[i] == b'-' || token[i] == b'+') {
+            let neg = token[i] == b'-';
+            i += 1;
+            neg
+        } else {
+            false
+        };
+        let mut edigits = 0usize;
+        let mut e: i32 = 0;
+        while i < n && token[i].is_ascii_digit() {
+            e = e.saturating_mul(10).saturating_add((token[i] - b'0') as i32);
+            edigits += 1;
+            i += 1;
+        }
+        if edigits == 0 {
+            return None;
+        }
+        exp = if eneg { -e } else { e };
+    }
+    if i != n {
+        return None; // trailing bytes the grammar does not cover
+    }
+    // 19 mantissa digits can overflow u64; 2^53 is the exactness bound.
+    if ndigits > 19 || mant > (1u64 << 53) {
+        return None;
+    }
+    let e10 = exp - frac_digits;
+    let magnitude = if (0..=22).contains(&e10) {
+        (mant as f64) * POW10[e10 as usize]
+    } else if (-22..0).contains(&e10) {
+        (mant as f64) / POW10[(-e10) as usize]
+    } else {
+        return None;
+    };
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+/// Parses a plain `[+-]?digits` integer token; `None` outside the
+/// guaranteed-exact domain (≥ 19 digits, empty, stray bytes) so callers
+/// fall back to `str::parse::<i64>`.
+#[inline]
+pub fn parse_i64_fast(token: &[u8]) -> Option<i64> {
+    let n = token.len();
+    if n == 0 {
+        return None;
+    }
+    let mut i = 0usize;
+    let neg = match token[0] {
+        b'-' => {
+            i = 1;
+            true
+        }
+        b'+' => {
+            i = 1;
+            false
+        }
+        _ => false,
+    };
+    let mut v: i64 = 0;
+    let mut ndigits = 0usize;
+    while i < n && token[i].is_ascii_digit() {
+        v = v.wrapping_mul(10).wrapping_add((token[i] - b'0') as i64);
+        ndigits += 1;
+        i += 1;
+    }
+    // 18 digits can never overflow i64; longer tokens take the slow path.
+    if i != n || ndigits == 0 || ndigits > 18 {
+        return None;
+    }
+    Some(if neg { -v } else { v })
+}
+
+/// Trims the ASCII subset of `str::trim`'s whitespace. Tokens that still
+/// carry exotic (non-ASCII) whitespace fail the fast parser and reach the
+/// checked `str::trim().parse()` fallback unmodified.
+#[inline]
+fn trim_ascii(mut t: &[u8]) -> &[u8] {
+    const WS: &[u8] = b" \t\r\n\x0b\x0c";
+    while let Some(&b) = t.first() {
+        if WS.contains(&b) {
+            t = &t[1..];
+        } else {
+            break;
+        }
+    }
+    while let Some(&b) = t.last() {
+        if WS.contains(&b) {
+            t = &t[..t.len() - 1];
+        } else {
+            break;
+        }
+    }
+    t
+}
+
+/// One field: fast path on the ASCII-trimmed token, checked `str::parse`
+/// fallback on the original token (identical to the seed readers'
+/// `field.trim().parse::<f64>()`).
+#[inline]
+fn parse_field_f64(bytes: &[u8], start: usize, end: usize) -> Option<f64> {
+    let token = trim_ascii(&bytes[start..end]);
+    if let Some(v) = parse_f64_fast(token) {
+        return Some(v);
+    }
+    let s = std::str::from_utf8(&bytes[start..end]).ok()?;
+    s.trim().parse::<f64>().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel parse into column storage
+// ---------------------------------------------------------------------------
+
+/// Raw base pointer to the column `Vec`s, shared across the scoped
+/// workers. Each worker writes only rows inside its own disjoint chunk, so
+/// no two threads ever touch the same element (same pattern as
+/// `parx::parallel_map`).
+struct ColumnsPtr(usize);
+unsafe impl Sync for ColumnsPtr {}
+
+/// Parses every indexed record of `bytes` into `columns`, in parallel
+/// across up to `threads` workers.
+///
+/// `columns` is resized to `idx.width()` columns × `idx.rows()` values,
+/// reusing existing capacity — steady-state re-parses of same-shaped
+/// buffers perform **zero** heap allocations (see
+/// `dataio/tests/alloc_ingest.rs`). Returns `false` when any field is not
+/// parseable as `f64`: the file is mixed-dtype and the caller must fall
+/// back to the typed parser (the columns' contents are then unspecified).
+///
+/// Every value is computed independently of the partition layout, so the
+/// materialized columns are bit-identical for any `threads`.
+pub fn parse_into(
+    bytes: &[u8],
+    idx: &StructuralIndex,
+    columns: &mut Vec<Vec<f64>>,
+    threads: usize,
+) -> bool {
+    let width = idx.width();
+    let nrows = idx.rows();
+    columns.resize_with(width, Vec::new);
+    columns.truncate(width);
+    for col in columns.iter_mut() {
+        col.resize(nrows, 0.0);
+        col.truncate(nrows);
+    }
+    let nonnumeric = AtomicBool::new(false);
+    let cols = ColumnsPtr(columns.as_mut_ptr() as usize);
+    parx::parallel_for_grained(nrows, threads.max(1), ROW_GRAIN, |chunk| {
+        let base = cols.0 as *mut Vec<f64>;
+        for row in chunk.start..chunk.end {
+            if nonnumeric.load(Ordering::Relaxed) {
+                return;
+            }
+            let (start, end) = idx.row_span(row);
+            let mut field_start = start;
+            let mut c = 0usize;
+            let mut pos = start;
+            loop {
+                if pos == end || bytes[pos] == b',' {
+                    match parse_field_f64(bytes, field_start, pos) {
+                        Some(v) => {
+                            // SAFETY: `c < width` by the scan's field-count
+                            // validation and `row` is owned by exactly this
+                            // chunk; the column Vecs were resized to
+                            // `nrows` above and outlive the scope.
+                            unsafe {
+                                *(*base.add(c)).as_mut_ptr().add(row) = v;
+                            }
+                        }
+                        None => {
+                            nonnumeric.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    c += 1;
+                    if pos == end {
+                        break;
+                    }
+                    field_start = pos + 1;
+                }
+                pos += 1;
+            }
+            debug_assert_eq!(c, width, "scan validated the field count");
+        }
+    });
+    !nonnumeric.load(Ordering::Relaxed)
+}
+
+/// Number of disjoint row partitions [`parse_into`] uses for a given row
+/// count and thread budget (mirrors `parallel_for_grained`'s reduction).
+pub fn effective_partitions(rows: usize, threads: usize) -> usize {
+    if rows == 0 {
+        return 0;
+    }
+    threads.max(1).min((rows / ROW_GRAIN).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx_of(text: &str) -> StructuralIndex {
+        let mut idx = StructuralIndex::new();
+        scan(text.as_bytes(), &mut idx).unwrap();
+        idx
+    }
+
+    #[test]
+    fn swar_masks_are_exact() {
+        // Adversarial words for the borrow-propagation false positive:
+        // a zero lane followed by a 0x01 lane.
+        for word in [
+            0x0000_0000_0000_0100u64,
+            0x0101_0101_0101_0101,
+            0xFF00_01FF_0001_FF00,
+            u64::MAX,
+            0,
+        ] {
+            let mask = zero_byte_mask(word);
+            for lane in 0..8 {
+                let byte = (word >> (lane * 8)) & 0xFF;
+                let bit = (mask >> (lane * 8 + 7)) & 1;
+                assert_eq!(bit == 1, byte == 0, "word {word:#x} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_indexes_simple_file() {
+        let idx = idx_of("1,2,3\n4,5,6\n");
+        assert_eq!(idx.rows(), 2);
+        assert_eq!(idx.width(), 3);
+        assert_eq!(idx.row_span(0), (0, 5));
+        assert_eq!(idx.row_span(1), (6, 11));
+    }
+
+    #[test]
+    fn scan_handles_crlf_blank_lines_and_missing_trailing_newline() {
+        let idx = idx_of("1,2\r\n\r\n\n3,4\r\n5,6");
+        assert_eq!(idx.rows(), 3);
+        assert_eq!(idx.width(), 2);
+        // CRLF rows exclude the \r; the last row runs to EOF.
+        assert_eq!(idx.row_span(0), (0, 3));
+        assert_eq!(idx.row_span(1), (8, 11));
+        assert_eq!(idx.row_span(2), (13, 16));
+    }
+
+    #[test]
+    fn scan_counts_commas_across_word_boundaries() {
+        // Rows engineered so newlines land mid-word and multiple newlines
+        // share one 8-byte word.
+        let text = "a,b\nc,d\ne,f\ng,h\n";
+        let idx = idx_of(text);
+        assert_eq!(idx.rows(), 4);
+        assert_eq!(idx.width(), 2);
+        let wide = format!("{},tail\n", "x".repeat(23));
+        let idx = idx_of(&wide);
+        assert_eq!(idx.rows(), 1);
+        assert_eq!(idx.width(), 2);
+    }
+
+    #[test]
+    fn scan_rejects_ragged_rows() {
+        let mut idx = StructuralIndex::new();
+        let err = scan(b"1,2\n3\n", &mut idx).unwrap_err();
+        assert!(matches!(err, DataError::Malformed(_)));
+    }
+
+    #[test]
+    fn scan_rejects_non_utf8() {
+        let mut idx = StructuralIndex::new();
+        let err = scan(&[0xFF, 0xFE, b'\n'], &mut idx).unwrap_err();
+        assert!(err.to_string().contains("non-UTF8"));
+    }
+
+    #[test]
+    fn fast_f64_matches_std_on_plain_tokens() {
+        for t in [
+            "0", "-0", "1", "42", "-7", "+3", "3.25", "-0.5", "0.000123", "1e3", "2.5e-4",
+            "-1E+10", "9007199254740992", "123456.789", "1e22", "1e-22", "0.0", "-0.0",
+        ] {
+            let fast = parse_f64_fast(t.as_bytes()).unwrap_or_else(|| panic!("{t} fast-parsable"));
+            let std = t.parse::<f64>().unwrap();
+            assert_eq!(fast.to_bits(), std.to_bits(), "token {t}");
+        }
+    }
+
+    #[test]
+    fn fast_f64_declines_outside_the_exact_domain() {
+        for t in [
+            "",
+            ".",
+            "e5",
+            "inf",
+            "NaN",
+            "1.2.3",
+            "1e",
+            "1e+",
+            "12345678901234567890", // 20 digits
+            "1e23",                 // exponent beyond the exact table
+            "1e-23",
+            "9007199254740993", // > 2^53
+            " 1",               // untrimmed
+            "1,",
+        ] {
+            assert!(parse_f64_fast(t.as_bytes()).is_none(), "token {t:?}");
+        }
+    }
+
+    #[test]
+    fn fast_f64_random_tokens_bit_identical_to_std() {
+        use xrng::RandomSource;
+        let mut rng = xrng::seeded(0x7072B0);
+        for _ in 0..4000 {
+            let mant = rng.next_u64() % 1_000_000_000_000;
+            let frac = rng.next_index(7);
+            let exp = rng.next_index(45) as i32 - 22;
+            let token = if frac == 0 {
+                format!("{mant}e{exp}")
+            } else {
+                format!("{}.{:0>width$}e{exp}", mant / 10u64.pow(frac as u32), mant % 10u64.pow(frac as u32), width = frac)
+            };
+            if let Some(fast) = parse_f64_fast(token.as_bytes()) {
+                let std = token.parse::<f64>().unwrap();
+                assert_eq!(fast.to_bits(), std.to_bits(), "token {token}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_i64_matches_std_or_declines() {
+        for t in ["0", "-1", "+17", "123456789012345678"] {
+            assert_eq!(parse_i64_fast(t.as_bytes()), t.parse::<i64>().ok(), "{t}");
+        }
+        for t in ["", "-", "1234567890123456789", "12a", " 1"] {
+            assert!(parse_i64_fast(t.as_bytes()).is_none(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn parse_into_materializes_and_reports_numeric() {
+        let text = "1,2.5,3\n-4,5e-1,6\n";
+        let idx = idx_of(text);
+        let mut cols = Vec::new();
+        assert!(parse_into(text.as_bytes(), &idx, &mut cols, 2));
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0], vec![1.0, -4.0]);
+        assert_eq!(cols[1], vec![2.5, 0.5]);
+        assert_eq!(cols[2], vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn parse_into_flags_mixed_dtype() {
+        let text = "1,tumor\n2,normal\n";
+        let idx = idx_of(text);
+        let mut cols = Vec::new();
+        assert!(!parse_into(text.as_bytes(), &idx, &mut cols, 2));
+    }
+
+    #[test]
+    fn parse_into_bit_identical_across_thread_counts() {
+        use xrng::RandomSource;
+        let mut rng = xrng::seeded(99);
+        let mut text = String::new();
+        for _ in 0..200 {
+            for c in 0..7 {
+                if c > 0 {
+                    text.push(',');
+                }
+                text.push_str(&format!("{:.5}", rng.next_f32() * 2000.0 - 1000.0));
+            }
+            text.push('\n');
+        }
+        let idx = idx_of(&text);
+        let mut base = Vec::new();
+        assert!(parse_into(text.as_bytes(), &idx, &mut base, 1));
+        for threads in [2, 4, 8] {
+            let mut cols = Vec::new();
+            assert!(parse_into(text.as_bytes(), &idx, &mut cols, threads));
+            for (a, b) in base.iter().zip(&cols) {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(a), bits(b), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_partitions_respects_grain() {
+        assert_eq!(effective_partitions(0, 4), 0);
+        assert_eq!(effective_partitions(10, 4), 1);
+        assert_eq!(effective_partitions(64, 4), 4);
+        assert_eq!(effective_partitions(1000, 4), 4);
+    }
+}

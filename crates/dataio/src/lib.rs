@@ -19,6 +19,11 @@
 //!   parallel (`parx`), then concatenated; faster than pandas-default,
 //!   slower than the chunked fix on wide files, as the paper reports for
 //!   Dask DataFrame.
+//! * [`ReadStrategy::TurboParallel`] — goes past the paper: a SWAR
+//!   structural scan indexes every record up front, then workers parse in
+//!   parallel straight into disjoint slices of the final column storage
+//!   (no per-row allocations, no concat), bit-identical to the chunked
+//!   strategy at any thread count. See [`csv::turbo`].
 //!
 //! [`generate`] produces learnable synthetic datasets with the exact
 //! row/column geometry of the four P1 benchmarks (scaled by a documented
@@ -36,7 +41,7 @@ pub use gen::{generate, write_csv_dataset, ClassSpec, SyntheticDataset, Syntheti
 pub use preprocess::{Scaler, ScalerKind};
 pub use schema::{infer_dtype, unify, Dtype};
 
-pub use csv::{read_csv, LoadStats, ReadStrategy};
+pub use csv::{read_csv, read_turbo_with_threads, IngestPhases, LoadStats, ReadStrategy};
 
 /// Errors from CSV reading and dataset generation.
 #[derive(Debug)]

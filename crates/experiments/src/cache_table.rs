@@ -182,6 +182,7 @@ pub fn table_cache(quick: bool) -> Experiment {
         LoadMethod::PandasDefault,
         LoadMethod::ChunkedLowMemoryFalse,
         LoadMethod::Dask,
+        LoadMethod::TurboParallel,
         LoadMethod::BinaryCache,
     ] {
         let mut cells = vec![method.label().to_string()];

@@ -225,6 +225,7 @@ fn local_csv_validation() -> String {
             ReadStrategy::PandasDefault,
             ReadStrategy::ChunkedLowMemory,
             ReadStrategy::DaskParallel,
+            ReadStrategy::TurboParallel,
         ] {
             match read_csv(&path, strategy) {
                 Ok((_, stats)) => {
@@ -248,6 +249,7 @@ fn local_csv_validation() -> String {
             "pandas-style",
             "chunked",
             "dask-style",
+            "turbo",
             "speedup",
         ],
         &rows,

@@ -5,7 +5,7 @@
 //! cargo run --release --example cache_demo
 //! ```
 
-use candle::{run_parallel, BenchDataKind, CacheSpec, FuncScaling, ParallelRunSpec};
+use candle::{run_parallel, BenchDataKind, CacheSource, CacheSpec, FuncScaling, ParallelRunSpec};
 use cluster::calib::Bench;
 use datacache::{CacheStore, Prefetcher};
 use dataio::{generate, read_csv, write_csv_dataset, ClassSpec, ReadStrategy, SyntheticSpec};
@@ -107,6 +107,7 @@ fn main() {
             root: dir.join("pipeline_cache"),
             shards: 3,
             prefetch: true,
+            source: CacheSource::Generate,
         }),
     };
     let cold_run = run_parallel(&run_spec).expect("cold pipeline run");

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Kernel benchmark pass, fully offline. Runs the Criterion kernel
-# microbenches in --quick mode, then emits the machine-readable
-# seed-vs-blocked comparison to BENCH_KERNELS.json at the repo root
-# (names, ns/iter, GFLOP/s, speedup) for CI to archive per commit.
+# Kernel + ingest benchmark pass, fully offline. Runs the Criterion
+# kernel microbenches in --quick mode, then emits two machine-readable
+# comparisons at the repo root for CI to archive per commit:
+#   BENCH_KERNELS.json — seed vs blocked GEMM (names, ns/iter, GFLOP/s)
+#   BENCH_INGEST.json  — seed vs turbo CSV ingest (seconds, MiB/s, phases)
 #
 # Usage: scripts/bench.sh [quick|full]
 #   quick (default) — shrunken shapes, finishes in a couple of minutes
@@ -20,6 +21,13 @@ if [ "$MODE" = "quick" ]; then
     cargo run --release --offline -p candle-bench --bin bench_kernels_json -- --quick --out BENCH_KERNELS.json
 else
     cargo run --release --offline -p candle-bench --bin bench_kernels_json -- --out BENCH_KERNELS.json
+fi
+
+echo "==> seed-vs-turbo ingest comparison -> BENCH_INGEST.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_ingest_json -- --quick --out BENCH_INGEST.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_ingest_json -- --out BENCH_INGEST.json
 fi
 
 echo "==> bench OK"
