@@ -21,6 +21,7 @@ fn epoch_spec(bench: Bench, workers: usize) -> ParallelRunSpec {
         record_timeline: false,
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
+        data_service: None,
     }
 }
 

@@ -1,0 +1,92 @@
+//! Emits the shared-service-vs-independent-caches fleet comparison as
+//! machine-readable JSON.
+//!
+//! `scripts/bench.sh` runs this after the ingest pass and writes
+//! `BENCH_DATAPIPE.json` at the repo root so CI can archive multi-job
+//! data-plane throughput per commit. The measurement comes from the same
+//! [`experiments::measure_datapipe_comparison`] driver that backs the
+//! `table_datapipe` experiment, so the JSON and the report always agree.
+//!
+//! Usage: `bench_datapipe_json [--quick] [--out PATH]`
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_DATAPIPE.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_datapipe_json [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let jobs = 32;
+    let (rows, cols, shards) = if quick { (1024, 16, 8) } else { (4096, 24, 8) };
+    let c =
+        experiments::measure_datapipe_comparison(jobs, rows, cols, shards).unwrap_or_else(|| {
+            eprintln!("temp filesystem unavailable; cannot measure");
+            std::process::exit(1);
+        });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"shared dataset service vs independent caches\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"optimized_build\": {},\n",
+        !cfg!(debug_assertions)
+    ));
+    json.push_str(&format!("  \"jobs\": {},\n", c.jobs));
+    json.push_str(&format!("  \"rows\": {},\n", c.rows));
+    json.push_str(&format!("  \"cols\": {},\n", c.cols));
+    json.push_str(&format!("  \"bit_identical\": {},\n", c.bit_identical));
+    json.push_str(&format!(
+        "  \"shared\": {{ \"wall_s\": {:.6}, \"rows_per_s\": {:.1} }},\n",
+        c.shared_wall_s, c.shared_rows_per_s
+    ));
+    json.push_str(&format!(
+        "  \"independent\": {{ \"wall_s\": {:.6}, \"rows_per_s\": {:.1} }},\n",
+        c.independent_wall_s, c.independent_rows_per_s
+    ));
+    json.push_str(&format!(
+        "  \"speedup\": {:.4},\n",
+        c.independent_wall_s / c.shared_wall_s.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"pool\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"bytes_loaded\": {}, \"bytes_served\": {}, \"peak_resident_bytes\": {} }}\n",
+        c.pool.hits,
+        c.pool.misses,
+        c.pool.evictions,
+        c.pool.bytes_loaded,
+        c.pool.bytes_served,
+        c.pool.peak_resident_bytes
+    ));
+    json.push_str("}\n");
+
+    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(json.as_bytes()).expect("write JSON");
+    eprintln!(
+        "wrote {out_path}: {jobs} jobs, shared {:.0} rows/s vs independent {:.0} rows/s \
+         ({:.2}x), bit_identical={}",
+        c.shared_rows_per_s,
+        c.independent_rows_per_s,
+        c.independent_wall_s / c.shared_wall_s.max(1e-9),
+        c.bit_identical
+    );
+}

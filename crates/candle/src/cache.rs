@@ -86,6 +86,112 @@ impl DataPhase {
     }
 }
 
+/// A handle onto a shared [`datapipe::DatasetService`], attached to a
+/// [`ParallelRunSpec`](crate::ParallelRunSpec): the run draws its data
+/// through the service's admission-controlled shard pool instead of
+/// opening a private cache. N concurrent runs over one `ServiceSpec`
+/// share one decode of every shard.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// The shared data plane.
+    pub service: Arc<datapipe::DatasetService>,
+    /// Shard count used if this run is the one that cold-builds.
+    pub shards: usize,
+}
+
+impl ServiceSpec {
+    /// Wraps a service with the default shard count.
+    pub fn new(service: Arc<datapipe::DatasetService>) -> Self {
+        Self { service, shards: 4 }
+    }
+}
+
+/// How a service-fed data phase went: open/stream timings plus the job's
+/// isolation stats, which the pipeline surfaces as `service_*` phases in
+/// the profile.
+#[derive(Debug, Clone)]
+pub struct ServiceLoad {
+    /// True when this run's open performed the cold build.
+    pub cold: bool,
+    /// Time in `open_dataset` (cold build or manifest warm hit).
+    pub open: Duration,
+    /// Time streaming and materializing the train/test tensors.
+    pub stream: Duration,
+    /// The job's isolation stats after materialization.
+    pub job: datapipe::JobStats,
+}
+
+/// Loads the train/test pair of a benchmark through a shared dataset
+/// service: opens (single-flight) the packed dataset under the same key
+/// as [`load_benchmark_dataset`], admits a bulk job, and materializes the
+/// pair from the job's sequential stream. Bit-identical to the private
+/// cache path and to fresh generation.
+pub fn load_benchmark_dataset_via_service(
+    kind: &BenchDataKind,
+    seed: u64,
+    spec: &ServiceSpec,
+) -> Result<(Dataset, Dataset, ServiceLoad), CacheError> {
+    let (key, desc) = dataset_key(kind, seed);
+    let tag = format!("train_rows={};features={}", kind.train_rows, kind.features);
+    let open_start = Instant::now();
+    let outcome = spec
+        .service
+        .open_dataset(key, &desc, &tag, spec.shards.max(1), || {
+            let (train, test) = benchmark_dataset(kind, seed);
+            Ok(pack_pair(&train, &test))
+        })?;
+    let open = open_start.elapsed();
+
+    let stream_start = Instant::now();
+    let job = spec
+        .service
+        .admit(datapipe::JobSpec {
+            dataset: key,
+            features: kind.features,
+            batch: 512,
+            seed,
+        })
+        .map_err(|e| CacheError::Corrupt(format!("service admission: {e}")))?;
+    let ycols = job.ycols();
+    let rows = kind.train_rows + kind.test_rows;
+    let mut xs = Vec::with_capacity(rows * kind.features);
+    let mut ys = Vec::with_capacity(rows * ycols);
+    for item in job.sequential() {
+        let batch = item?;
+        xs.extend_from_slice(batch.x.data());
+        ys.extend_from_slice(batch.y.data());
+    }
+    if xs.len() != rows * kind.features {
+        return Err(CacheError::Corrupt(format!(
+            "service stream delivered {} feature values, expected {}",
+            xs.len(),
+            rows * kind.features
+        )));
+    }
+    let slice = |data: &[f32], row0: usize, nrows: usize, width: usize| {
+        Tensor::from_vec(
+            [nrows, width],
+            data[row0 * width..(row0 + nrows) * width].to_vec(),
+        )
+        .expect("slice length matches shape")
+    };
+    let train = Dataset::new(
+        slice(&xs, 0, kind.train_rows, kind.features),
+        slice(&ys, 0, kind.train_rows, ycols),
+    );
+    let test = Dataset::new(
+        slice(&xs, kind.train_rows, kind.test_rows, kind.features),
+        slice(&ys, kind.train_rows, kind.test_rows, ycols),
+    );
+    let load = ServiceLoad {
+        cold: !outcome.is_warm(),
+        open,
+        stream: stream_start.elapsed(),
+        job: job.stats(),
+    };
+    Ok((train, test, load))
+}
+
 /// The cache key for one benchmark dataset: every field of the geometry
 /// plus the seed participates, so any change is a rebuild.
 pub fn dataset_key(kind: &BenchDataKind, seed: u64) -> (u64, String) {
@@ -121,12 +227,18 @@ pub fn load_benchmark_dataset(
         }
         CacheSource::Csv { path, strategy } => {
             let key = source_key_for_file(path, strategy.label())?;
-            store.open_or_build(key, &path.to_string_lossy(), &tag, cache.shards.max(1), || {
-                let (frame, stats) = read_csv(path, *strategy)?;
-                generate_time = stats.elapsed;
-                ingest = stats.ingest;
-                Ok(frame)
-            })?
+            store.open_or_build(
+                key,
+                &path.to_string_lossy(),
+                &tag,
+                cache.shards.max(1),
+                || {
+                    let (frame, stats) = read_csv(path, *strategy)?;
+                    generate_time = stats.elapsed;
+                    ingest = stats.ingest;
+                    Ok(frame)
+                },
+            )?
         }
     };
 
@@ -272,8 +384,7 @@ mod tests {
     use cluster::calib::Bench;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("candle_cache_{name}_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("candle_cache_{name}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }

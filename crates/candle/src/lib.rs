@@ -30,7 +30,10 @@ pub mod pipeline;
 pub mod profiler;
 pub mod scaling;
 
-pub use cache::{dataset_key, export_packed_csv, load_benchmark_dataset, CacheSource, CacheSpec, DataPhase};
+pub use cache::{
+    dataset_key, export_packed_csv, load_benchmark_dataset, load_benchmark_dataset_via_service,
+    CacheSource, CacheSpec, DataPhase, ServiceLoad, ServiceSpec,
+};
 pub use dataset::{benchmark_dataset, BenchDataKind};
 pub use models::build_model;
 pub use params::{BenchId, HyperParams};

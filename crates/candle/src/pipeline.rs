@@ -16,7 +16,9 @@
 //! 9b, 10b, and Table 6 report. Wall-clock at Summit scale comes from the
 //! `cluster` simulator instead.
 
-use crate::cache::{load_benchmark_dataset, CacheSpec, DataPhase};
+use crate::cache::{
+    load_benchmark_dataset, load_benchmark_dataset_via_service, CacheSpec, DataPhase, ServiceSpec,
+};
 use crate::dataset::{benchmark_dataset, BenchDataKind};
 use crate::models::build_model;
 use crate::params::BenchId;
@@ -82,6 +84,11 @@ pub struct ParallelRunSpec {
     /// runs from checksummed shards (`cache_load` in the phase profile)
     /// instead of regenerating (`data_loading`).
     pub cache: Option<CacheSpec>,
+    /// Optional shared dataset service: when set, the data phase draws its
+    /// tensors from the service's admission-controlled shard pool
+    /// (`service_*` phases in the profile) so N concurrent runs share one
+    /// data plane. Takes precedence over `cache`.
+    pub data_service: Option<ServiceSpec>,
 }
 
 /// Results of a functional parallel run.
@@ -178,51 +185,74 @@ pub fn run_parallel(spec: &ParallelRunSpec) -> Result<ParallelRunOutcome, Pipeli
         FuncScaling::Weak { epochs_per_worker } => epochs_per_worker,
     };
     let mut profile = PhaseProfiler::new();
-    let (full_train, test) = match &spec.cache {
-        None => {
-            let data_gen_start = Instant::now();
-            let pair = benchmark_dataset(&spec.data, spec.seed);
-            profile.record("data_loading", data_gen_start.elapsed());
-            pair
-        }
-        Some(cache) => {
-            let (train, test, phase) = load_benchmark_dataset(&spec.data, spec.seed, cache)
+    let (full_train, test) = if let Some(service) = &spec.data_service {
+        let (train, test, load) =
+            load_benchmark_dataset_via_service(&spec.data, spec.seed, service)
                 .map_err(|e| PipelineError::Cache(e.to_string()))?;
-            match phase {
-                DataPhase::Cold {
-                    generate,
-                    encode_write,
-                    decode,
-                    ingest,
-                } => {
-                    profile.record("data_loading", generate);
-                    profile.record("cache_build", encode_write);
-                    profile.record("cache_load", decode);
-                    // Turbo CSV ingests break the load down further:
-                    // structural scan vs parallel parse vs frame build.
-                    if let Some(phases) = ingest {
-                        profile.record("ingest_scan", phases.scan);
-                        profile.record("ingest_parse", phases.parse);
-                        profile.record("ingest_materialize", phases.materialize);
-                    }
-                }
-                DataPhase::Warm { load, prefetch } => {
-                    profile.record("cache_load", load);
-                    if let Some(stats) = prefetch {
-                        profile.record_n(
-                            "prefetch_wait",
-                            stats.wait_time(),
-                            stats.waits as u64,
-                        );
-                        profile.record_n(
-                            "prefetch_ready",
-                            std::time::Duration::ZERO,
-                            stats.ready_hits as u64,
-                        );
-                    }
-                }
+        // Attribute the shared plane's work: open (cold build lands here
+        // for exactly one of N concurrent runs), streaming, and the job's
+        // isolation counters as call counts.
+        profile.record(
+            if load.cold {
+                "service_build"
+            } else {
+                "service_open"
+            },
+            load.open,
+        );
+        profile.record("service_stream", load.stream);
+        let job = load.job;
+        profile.record_n("service_wait", job.wait_time(), job.waits);
+        profile.record_n("service_hit", std::time::Duration::ZERO, job.shard_hits);
+        profile.record_n("service_miss", std::time::Duration::ZERO, job.shard_misses);
+        (train, test)
+    } else {
+        match &spec.cache {
+            None => {
+                let data_gen_start = Instant::now();
+                let pair = benchmark_dataset(&spec.data, spec.seed);
+                profile.record("data_loading", data_gen_start.elapsed());
+                pair
             }
-            (train, test)
+            Some(cache) => {
+                let (train, test, phase) = load_benchmark_dataset(&spec.data, spec.seed, cache)
+                    .map_err(|e| PipelineError::Cache(e.to_string()))?;
+                match phase {
+                    DataPhase::Cold {
+                        generate,
+                        encode_write,
+                        decode,
+                        ingest,
+                    } => {
+                        profile.record("data_loading", generate);
+                        profile.record("cache_build", encode_write);
+                        profile.record("cache_load", decode);
+                        // Turbo CSV ingests break the load down further:
+                        // structural scan vs parallel parse vs frame build.
+                        if let Some(phases) = ingest {
+                            profile.record("ingest_scan", phases.scan);
+                            profile.record("ingest_parse", phases.parse);
+                            profile.record("ingest_materialize", phases.materialize);
+                        }
+                    }
+                    DataPhase::Warm { load, prefetch } => {
+                        profile.record("cache_load", load);
+                        if let Some(stats) = prefetch {
+                            profile.record_n(
+                                "prefetch_wait",
+                                stats.wait_time(),
+                                stats.waits as u64,
+                            );
+                            profile.record_n(
+                                "prefetch_ready",
+                                std::time::Duration::ZERO,
+                                stats.ready_hits as u64,
+                            );
+                        }
+                    }
+                }
+                (train, test)
+            }
         }
     };
     let test_target_variance = {
@@ -361,6 +391,7 @@ mod tests {
             record_timeline: false,
             data_mode: DataMode::FullReplicated,
             cache: None,
+            data_service: None,
         }
     }
 
@@ -369,8 +400,7 @@ mod tests {
     /// carries the new ingest phase counters.
     #[test]
     fn csv_sourced_run_reports_ingest_phases_and_matches_generate() {
-        let root = std::env::temp_dir()
-            .join(format!("candle_pipe_csv_{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("candle_pipe_csv_{}", std::process::id()));
         std::fs::remove_dir_all(&root).ok();
         std::fs::create_dir_all(&root).unwrap();
         let csv = root.join("packed.csv");
@@ -531,8 +561,7 @@ mod tests {
 
     #[test]
     fn cached_run_matches_uncached_and_reports_cache_phases() {
-        let root = std::env::temp_dir()
-            .join(format!("candle_pipe_cache_{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("candle_pipe_cache_{}", std::process::id()));
         std::fs::remove_dir_all(&root).ok();
         let mut s = spec(Bench::Nt3, 2, 4);
         s.cache = Some(CacheSpec {
@@ -578,6 +607,51 @@ mod tests {
         assert_eq!(cold.train_loss, plain.train_loss);
         assert_eq!(warm.train_loss, plain.train_loss);
         assert_eq!(warm.test_accuracy, plain.test_accuracy);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Two runs fed from one shared service train bit-identically to the
+    /// plain generate path, and the profile attributes the shared plane's
+    /// work (`service_build` on the cold open, `service_open` after).
+    #[test]
+    fn service_fed_runs_match_plain_and_report_service_phases() {
+        let root = std::env::temp_dir().join(format!("candle_pipe_service_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let service = datapipe::DatasetService::new(datapipe::ServiceConfig::new(&root)).unwrap();
+        let mut s = spec(Bench::Nt3, 2, 4);
+        s.data_service = Some(crate::cache::ServiceSpec::new(Arc::clone(&service)));
+
+        let first = run_parallel(&s).unwrap();
+        let second = run_parallel(&s).unwrap();
+        let plain = run_parallel(&spec(Bench::Nt3, 2, 4)).unwrap();
+        assert_eq!(first.train_loss, plain.train_loss);
+        assert_eq!(second.train_loss, plain.train_loss);
+        assert_eq!(first.test_accuracy, plain.test_accuracy);
+
+        let phases = |o: &ParallelRunOutcome| {
+            o.profile
+                .records()
+                .iter()
+                .map(|r| r.name.clone())
+                .collect::<Vec<_>>()
+        };
+        assert!(phases(&first).iter().any(|n| n == "service_build"));
+        assert!(phases(&first).iter().any(|n| n == "service_stream"));
+        assert!(
+            phases(&second).iter().any(|n| n == "service_open"),
+            "second run must warm-open, not rebuild: {:?}",
+            phases(&second)
+        );
+        // The second run's shards were already resident: hits, no misses.
+        let hit_calls = second
+            .profile
+            .records()
+            .iter()
+            .find(|r| r.name == "service_hit")
+            .map(|r| r.calls)
+            .unwrap_or(0);
+        assert!(hit_calls > 0, "resident shards must be attributed as hits");
+        assert_eq!(service.stats().admitted, 2);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -95,6 +95,44 @@ pub fn total_load_seconds(machine: Machine, bench: Bench, method: LoadMethod, no
         + load_seconds(machine, bench, Split::Test, method, nodes)
 }
 
+/// How a fleet of concurrent jobs (an HPO sweep) organizes its data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPlane {
+    /// Every job loads independently with `method`: J jobs × N nodes all
+    /// parse/read their own copy, and all J·N readers contend at once.
+    Independent,
+    /// One shared dataset service (the `datapipe` model): exactly one job
+    /// pays the cold load with `method`; every other job streams the
+    /// already-resident shards at warm binary-cache cost. Contention still
+    /// scales with total readers, but the expensive parse happens once.
+    SharedService,
+}
+
+/// Modelled wall-clock seconds of data loading summed over a fleet of
+/// `jobs` concurrent jobs, each spanning `nodes` nodes, organized by
+/// `plane`. This is the analytic counterpart of the measured
+/// `table_datapipe` experiment: the shared service turns J cold loads
+/// into one cold load plus J−1 warm streams.
+pub fn fleet_load_seconds(
+    machine: Machine,
+    bench: Bench,
+    method: LoadMethod,
+    nodes: usize,
+    jobs: usize,
+    plane: DataPlane,
+) -> f64 {
+    assert!(jobs > 0, "job count must be positive");
+    let readers = nodes * jobs;
+    match plane {
+        DataPlane::Independent => jobs as f64 * total_load_seconds(machine, bench, method, readers),
+        DataPlane::SharedService => {
+            total_load_seconds(machine, bench, method, readers)
+                + (jobs - 1) as f64
+                    * total_load_seconds(machine, bench, LoadMethod::BinaryCache, readers)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +237,85 @@ mod tests {
     #[should_panic(expected = "node count must be positive")]
     fn zero_nodes_panics() {
         contention_factor(Machine::Summit, 0);
+    }
+
+    #[test]
+    fn shared_service_beats_independent_fleets() {
+        for m in [Machine::Summit, Machine::Theta] {
+            for b in Bench::ALL {
+                for jobs in [2usize, 8, 32] {
+                    let ind = fleet_load_seconds(
+                        m,
+                        b,
+                        LoadMethod::PandasDefault,
+                        4,
+                        jobs,
+                        DataPlane::Independent,
+                    );
+                    let shared = fleet_load_seconds(
+                        m,
+                        b,
+                        LoadMethod::PandasDefault,
+                        4,
+                        jobs,
+                        DataPlane::SharedService,
+                    );
+                    assert!(
+                        shared < ind,
+                        "{m:?} {b:?} {jobs} jobs: shared {shared:.1} vs independent {ind:.1}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_job_fleet_matches_solo_load() {
+        for plane in [DataPlane::Independent, DataPlane::SharedService] {
+            assert_eq!(
+                fleet_load_seconds(Machine::Summit, Bench::Nt3, LoadMethod::Dask, 8, 1, plane),
+                total_load_seconds(Machine::Summit, Bench::Nt3, LoadMethod::Dask, 8),
+            );
+        }
+    }
+
+    /// The shared plane's advantage widens with fleet size: its cost is
+    /// one cold load plus cheap warm streams, so the ratio to J
+    /// independent cold loads keeps growing.
+    #[test]
+    fn shared_service_advantage_grows_with_jobs() {
+        let ratio = |jobs| {
+            fleet_load_seconds(
+                Machine::Theta,
+                Bench::Nt3,
+                LoadMethod::ChunkedLowMemoryFalse,
+                4,
+                jobs,
+                DataPlane::Independent,
+            ) / fleet_load_seconds(
+                Machine::Theta,
+                Bench::Nt3,
+                LoadMethod::ChunkedLowMemoryFalse,
+                4,
+                jobs,
+                DataPlane::SharedService,
+            )
+        };
+        assert!(ratio(4) > 1.0);
+        assert!(ratio(16) > ratio(4));
+        assert!(ratio(32) > ratio(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "job count must be positive")]
+    fn zero_jobs_panics() {
+        fleet_load_seconds(
+            Machine::Summit,
+            Bench::Nt3,
+            LoadMethod::Dask,
+            1,
+            0,
+            DataPlane::Independent,
+        );
     }
 }

@@ -32,7 +32,7 @@ pub mod power;
 pub mod run;
 
 pub use comm::{CommModel, NcclVersion};
-pub use io::{contention_factor, load_seconds, LoadMethod};
+pub use io::{contention_factor, fleet_load_seconds, load_seconds, DataPlane, LoadMethod};
 pub use machine::{Machine, MachineSpec, PowerState};
 pub use power::{build_power_trace, PowerSummary};
 pub use run::{

@@ -15,8 +15,13 @@ use std::time::Duration;
 
 /// How long a collective waits on a silent peer before declaring it lost.
 /// Collectives in this workspace exchange messages within a batch step, so
-/// ten seconds of silence means a dead or wedged worker, not a slow one.
-const PEER_TIMEOUT: Duration = Duration::from_secs(10);
+/// prolonged silence means a dead or wedged worker, not a slow one. The
+/// window is deliberately large: no test waits for it to fire (a killed
+/// worker is detected by other means), it only converts a genuine hang
+/// into a typed error, and on a loaded single-CPU runner — e.g. `cargo
+/// test --workspace` interleaving test runs with compilation — a healthy
+/// 4-rank world can easily be starved for tens of seconds.
+const PEER_TIMEOUT: Duration = Duration::from_secs(120);
 
 use crate::CommError;
 

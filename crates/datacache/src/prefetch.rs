@@ -40,18 +40,33 @@ pub struct Prefetched {
 pub struct PrefetchStats {
     /// Shards that were already decoded when the consumer asked.
     pub ready_hits: usize,
-    /// Times the consumer had to block on an in-flight decode.
+    /// Times the consumer had to block on an in-flight decode (stalls).
     pub waits: usize,
     /// Total time the consumer spent blocked, in nanoseconds.
     pub wait_ns: u128,
     /// Shards decoded by the background workers.
     pub decoded: usize,
+    /// Configured look-ahead window (the queue-depth bound).
+    pub depth: usize,
+    /// High-water mark of decodes in flight at once; at most `depth`.
+    pub max_in_flight: usize,
 }
 
 impl PrefetchStats {
     /// Total time the consumer spent blocked.
     pub fn wait_time(&self) -> Duration {
         Duration::from_nanos(self.wait_ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Fraction of consumer asks that stalled on an unfinished decode —
+    /// 0.0 means the look-ahead fully hid decode latency.
+    pub fn stall_fraction(&self) -> f64 {
+        let asks = self.ready_hits + self.waits;
+        if asks == 0 {
+            0.0
+        } else {
+            self.waits as f64 / asks as f64
+        }
     }
 }
 
@@ -66,6 +81,8 @@ pub struct Prefetcher {
     next_pos: usize,
     /// Positions submitted to the pool so far.
     submitted: usize,
+    /// Completions received back from the pool so far.
+    received: usize,
     depth: usize,
     tx: Sender<Slot>,
     rx: Receiver<Slot>,
@@ -94,11 +111,15 @@ impl Prefetcher {
             order,
             next_pos: 0,
             submitted: 0,
+            received: 0,
             depth,
             tx,
             rx,
             parked: HashMap::new(),
-            stats: PrefetchStats::default(),
+            stats: PrefetchStats {
+                depth,
+                ..PrefetchStats::default()
+            },
         };
         p.fill_window();
         p
@@ -125,6 +146,12 @@ impl Prefetcher {
     /// Shards this prefetcher will yield.
     pub fn len_total(&self) -> usize {
         self.order.len()
+    }
+
+    /// Decodes currently in flight on the background workers (submitted,
+    /// completion not yet received) — the live queue depth.
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.received
     }
 
     /// Keeps `depth` decodes in flight.
@@ -154,6 +181,7 @@ impl Prefetcher {
                 let _ = tx.send((pos, result));
             });
         }
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight());
     }
 
     /// Blocks until the completion for `pos` arrives, parking any
@@ -168,6 +196,7 @@ impl Prefetcher {
                 .recv()
                 .expect("prefetch workers never hang up while tasks are in flight");
             self.stats.decoded += 1;
+            self.received += 1;
             if got_pos == pos {
                 return result;
             }
@@ -197,6 +226,7 @@ impl Iterator for Prefetcher {
         // toward ready_hits when it covers the position we need.
         while let Ok((got_pos, result)) = self.rx.try_recv() {
             self.stats.decoded += 1;
+            self.received += 1;
             self.parked.insert(got_pos, result);
         }
         let item = if let Some(result) = self.parked.remove(&pos) {
@@ -293,6 +323,13 @@ mod tests {
             stats.ready_hits > 0,
             "a slow consumer should find prefetched shards ready: {stats:?}"
         );
+        assert_eq!(stats.depth, DEFAULT_DEPTH);
+        assert!(
+            stats.max_in_flight >= 1 && stats.max_in_flight <= stats.depth,
+            "in-flight high-water mark must stay inside the window: {stats:?}"
+        );
+        assert_eq!(pf.in_flight(), 0, "a drained prefetcher has nothing queued");
+        assert!(stats.stall_fraction() <= 1.0);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -9,6 +9,7 @@
 //! few).
 
 use crate::csv::write_matrix_csv;
+use crate::frame::{Column, Frame};
 use std::path::Path;
 use xrng::Normal;
 
@@ -62,6 +63,25 @@ pub struct SyntheticDataset {
 }
 
 impl SyntheticDataset {
+    /// Packs the dataset into a [`Frame`] — feature columns first, then
+    /// one label column, all `Float64` (exact f32 widening). This is the
+    /// shared cold-build path: services hand this frame to the shard
+    /// cache instead of round-tripping through a CSV on disk.
+    pub fn to_frame(&self) -> Frame {
+        let mut columns = Vec::with_capacity(self.cols + 1);
+        for c in 0..self.cols {
+            columns.push(Column::Float64(
+                (0..self.rows)
+                    .map(|r| self.features[r * self.cols + c] as f64)
+                    .collect(),
+            ));
+        }
+        columns.push(Column::Float64(
+            self.labels.iter().map(|&v| v as f64).collect(),
+        ));
+        Frame::new(columns).expect("generated columns share the row count")
+    }
+
     /// One-hot encodes classification labels into a `rows × classes`
     /// row-major matrix.
     ///
@@ -181,6 +201,19 @@ mod tests {
             },
             noise: 0.5,
             seed: 42,
+        }
+    }
+
+    #[test]
+    fn to_frame_packs_features_then_label() {
+        let ds = generate(&class_spec(30, 5));
+        let frame = ds.to_frame();
+        assert_eq!(frame.nrows(), 30);
+        assert_eq!(frame.ncols(), 6);
+        let matrix = frame.to_f32_matrix();
+        for r in 0..ds.rows {
+            assert_eq!(&matrix[r * 6..r * 6 + 5], &ds.features[r * 5..(r + 1) * 5]);
+            assert_eq!(matrix[r * 6 + 5], ds.labels[r]);
         }
     }
 

@@ -1,0 +1,251 @@
+//! Per-job streaming epoch iterators with bounded-queue backpressure.
+//!
+//! An [`EpochStream`] yields a job's batches strictly in order while
+//! assembling up to `queue_depth` batches ahead on the service's shared
+//! [`parx::WorkerPool`] — the same double-buffering discipline as
+//! `datacache::Prefetcher`, lifted from shards to shuffled batches. The
+//! bounded window is the backpressure: a slow consumer never accumulates
+//! more than `queue_depth` assembled batches of memory, and a fast
+//! consumer's blocked time is counted per job (`waits`, `wait_ns`).
+//!
+//! Batch contents are a pure function of `(dataset, seed, epoch, batch
+//! size)`: the gather order comes from the seeded Feistel permutation and
+//! every task writes a disjoint batch, so the stream is bit-identical
+//! across worker thread counts and regardless of what the other N−1 jobs
+//! are doing to the shared pool.
+
+use crate::permute::EpochPermutation;
+use crate::pool::ShardLease;
+use crate::service::JobHandle;
+use datacache::CacheError;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+use tensor::Tensor;
+
+/// How an epoch walks the rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Rows in storage order (bulk materialization).
+    Sequential,
+    /// The job's seeded global shuffle for `epoch`.
+    Shuffled {
+        /// Epoch index keying the permutation.
+        epoch: u64,
+    },
+}
+
+/// One assembled training batch.
+pub struct Batch {
+    /// Batch position within the epoch (0-based).
+    pub index: usize,
+    /// `[rows, features]` inputs.
+    pub x: Tensor,
+    /// `[rows, ycols]` targets.
+    pub y: Tensor,
+}
+
+/// Everything a background assembly task needs, shared by `Arc`.
+struct AssembleCtx {
+    job: JobContext,
+    perm: Option<EpochPermutation>,
+}
+
+/// The immutable slice of a [`JobHandle`] the tasks capture.
+struct JobContext {
+    pool: Arc<crate::pool::ShardPool>,
+    dataset: Arc<datacache::CachedDataset>,
+    dataset_key: u64,
+    counters: Arc<crate::service::JobCounters>,
+    features: usize,
+    batch: usize,
+    nrows: usize,
+    ncols: usize,
+    /// `start_row` of each shard, ascending — batch assembly locates the
+    /// shard owning a global row by partition point.
+    shard_starts: Vec<usize>,
+}
+
+type Slot = (usize, Result<Batch, CacheError>);
+
+/// An ordered, background-assembled iterator over one job's epoch.
+pub struct EpochStream {
+    ctx: Arc<AssembleCtx>,
+    workers: Arc<parx::WorkerPool>,
+    total: usize,
+    next_pos: usize,
+    submitted: usize,
+    depth: usize,
+    tx: Sender<Slot>,
+    rx: Receiver<Slot>,
+    parked: HashMap<usize, Result<Batch, CacheError>>,
+}
+
+impl EpochStream {
+    pub(crate) fn new(job: &JobHandle, order: StreamOrder) -> Self {
+        let nrows = job.nrows();
+        let spec = *job.spec();
+        let perm = match order {
+            StreamOrder::Sequential => None,
+            StreamOrder::Shuffled { epoch } => {
+                Some(EpochPermutation::for_job_epoch(nrows, spec.seed, epoch))
+            }
+        };
+        let ctx = Arc::new(AssembleCtx {
+            job: JobContext {
+                pool: Arc::clone(job.pool()),
+                dataset: Arc::clone(job.dataset()),
+                dataset_key: spec.dataset,
+                counters: Arc::clone(job.counters()),
+                features: spec.features,
+                batch: spec.batch.max(1),
+                nrows,
+                ncols: job.dataset().ncols(),
+                shard_starts: job
+                    .dataset()
+                    .manifest()
+                    .shards
+                    .iter()
+                    .map(|s| s.start_row)
+                    .collect(),
+            },
+            perm,
+        });
+        let total = nrows.div_ceil(ctx.job.batch);
+        let (tx, rx) = channel();
+        let mut stream = Self {
+            ctx,
+            workers: Arc::clone(job.workers()),
+            total,
+            next_pos: 0,
+            submitted: 0,
+            depth: job.service().config().queue_depth.max(1),
+            tx,
+            rx,
+            parked: HashMap::new(),
+        };
+        stream.fill_window();
+        stream
+    }
+
+    /// Batches this stream will yield.
+    pub fn len_total(&self) -> usize {
+        self.total
+    }
+
+    /// Keeps `depth` assemblies in flight (the backpressure bound).
+    fn fill_window(&mut self) {
+        while self.submitted < self.total && self.submitted < self.next_pos + self.depth {
+            let pos = self.submitted;
+            self.submitted += 1;
+            let ctx = Arc::clone(&self.ctx);
+            let tx = self.tx.clone();
+            self.workers.submit(move || {
+                let result = assemble(&ctx, pos);
+                // The consumer may have been dropped mid-epoch; that just
+                // discards the assembled batch.
+                let _ = tx.send((pos, result));
+            });
+        }
+    }
+
+    /// Blocks until the completion for `pos` arrives, parking any
+    /// out-of-order completions received in the meantime.
+    fn wait_for(&mut self, pos: usize) -> Result<Batch, CacheError> {
+        loop {
+            if let Some(result) = self.parked.remove(&pos) {
+                return result;
+            }
+            let (got_pos, result) = self
+                .rx
+                .recv()
+                .expect("assembly workers never hang up while tasks are in flight");
+            if got_pos == pos {
+                return result;
+            }
+            self.parked.insert(got_pos, result);
+        }
+    }
+}
+
+impl Iterator for EpochStream {
+    type Item = Result<Batch, CacheError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_pos >= self.total {
+            return None;
+        }
+        let pos = self.next_pos;
+        while let Ok((got_pos, result)) = self.rx.try_recv() {
+            self.parked.insert(got_pos, result);
+        }
+        let counters = Arc::clone(&self.ctx.job.counters);
+        let item = if let Some(result) = self.parked.remove(&pos) {
+            result
+        } else {
+            let start = Instant::now();
+            let result = self.wait_for(pos);
+            counters.waits.fetch_add(1, Ordering::Relaxed);
+            counters
+                .wait_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            result
+        };
+        if let Ok(batch) = &item {
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            counters
+                .rows
+                .fetch_add(batch.x.shape().dims()[0] as u64, Ordering::Relaxed);
+        }
+        self.next_pos += 1;
+        self.fill_window();
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total - self.next_pos;
+        (left, Some(left))
+    }
+}
+
+/// Gathers batch `pos`: maps each slot through the permutation, leases
+/// the owning shards from the shared pool (one lease per shard per
+/// batch), and copies rows into fresh x/y tensors.
+fn assemble(ctx: &AssembleCtx, pos: usize) -> Result<Batch, CacheError> {
+    let job = &ctx.job;
+    let start = pos * job.batch;
+    let end = (start + job.batch).min(job.nrows);
+    let rows = end - start;
+    let ycols = job.ncols - job.features;
+    let mut x = vec![0f32; rows * job.features];
+    let mut y = vec![0f32; rows * ycols];
+    let mut leases: Vec<Option<ShardLease>> = Vec::new();
+    leases.resize_with(job.shard_starts.len(), || None);
+    for (k, slot) in (start..end).enumerate() {
+        let row = match &ctx.perm {
+            Some(p) => p.apply(slot),
+            None => slot,
+        };
+        let shard_idx = job.shard_starts.partition_point(|&s| s <= row) - 1;
+        if leases[shard_idx].is_none() {
+            leases[shard_idx] = Some(job.pool.acquire(
+                job.dataset_key,
+                &job.dataset,
+                shard_idx as u32,
+                Some(&job.counters),
+            )?);
+        }
+        let shard = leases[shard_idx].as_ref().expect("just acquired").shard();
+        let local = row - shard.start_row;
+        let src = &shard.data.data()[local * job.ncols..(local + 1) * job.ncols];
+        x[k * job.features..(k + 1) * job.features].copy_from_slice(&src[..job.features]);
+        y[k * ycols..(k + 1) * ycols].copy_from_slice(&src[job.features..]);
+    }
+    let x = Tensor::from_vec([rows, job.features], x)
+        .map_err(|e| CacheError::Corrupt(format!("batch x shape: {e:?}")))?;
+    let y = Tensor::from_vec([rows, ycols], y)
+        .map_err(|e| CacheError::Corrupt(format!("batch y shape: {e:?}")))?;
+    Ok(Batch { index: pos, x, y })
+}

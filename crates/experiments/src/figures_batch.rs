@@ -75,6 +75,7 @@ pub fn fig10(quick: bool) -> Experiment {
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
+                data_service: None,
             };
             if let Ok(out) = candle::run_parallel(&spec) {
                 // R²-style accuracy: 1 − MSE / Var(target).
@@ -159,6 +160,7 @@ mod tests {
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
+                data_service: None,
             };
             let out = candle::run_parallel(&spec).unwrap();
             1.0 - out.test_loss / out.test_target_variance

@@ -60,6 +60,7 @@ pub fn accuracy_sweep(
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
+                data_service: None,
             };
             candle::run_parallel(&spec).ok().map(|out| AccuracyPoint {
                 workers: w,

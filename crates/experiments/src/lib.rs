@@ -18,6 +18,7 @@
 
 mod ablations;
 mod cache_table;
+mod datapipe_table;
 mod figures_batch;
 mod figures_improve;
 mod figures_strong;
@@ -36,6 +37,7 @@ pub use ablations::{
     ablation_nccl_upgrade, ablations,
 };
 pub use cache_table::{measure_cache_comparison, table_cache, CacheComparison};
+pub use datapipe_table::{measure_datapipe_comparison, table_datapipe, DatapipeComparison};
 pub use figures_batch::fig10;
 pub use figures_improve::{fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use figures_strong::{fig6, fig7, fig8, fig9};
@@ -85,6 +87,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         table_resil(quick),
         table_kernels(quick),
         table_ingest(quick),
+        table_datapipe(quick),
     ]
 }
 
@@ -93,7 +96,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 27);
+        assert_eq!(experiments.len(), 28);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -107,5 +110,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table_resil"));
         assert!(experiments.iter().any(|e| e.id == "table_kernels"));
         assert!(experiments.iter().any(|e| e.id == "table_ingest"));
+        assert!(experiments.iter().any(|e| e.id == "table_datapipe"));
     }
 }

@@ -329,6 +329,7 @@ pub fn table6(quick: bool) -> Experiment {
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
+                data_service: None,
             };
             let out = candle::run_parallel(&spec).expect("weak run");
             (w, out.train_accuracy.unwrap_or(0.0))

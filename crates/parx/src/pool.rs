@@ -92,6 +92,12 @@ impl WorkerPool {
         self.restarts.load(Ordering::Relaxed)
     }
 
+    /// Tasks submitted but not yet finished (queued plus running) — the
+    /// live queue-depth signal shared-service schedulers report.
+    pub fn pending(&self) -> usize {
+        *self.outstanding.count.lock()
+    }
+
     /// Submits a task for execution on some worker.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, task: F) {
         {
@@ -141,6 +147,7 @@ mod tests {
         }
         pool.join();
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.pending(), 0, "join must drain the pending count");
     }
 
     #[test]

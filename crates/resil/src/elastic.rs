@@ -122,6 +122,7 @@ pub fn run_elastic(spec: &ElasticSpec) -> Result<ElasticOutcome, ResilError> {
         record_timeline: false,
         data_mode: DataMode::FullReplicated,
         cache: None,
+        data_service: None,
     };
     let (train, _) = benchmark_dataset(&spec.data, spec.seed);
     let train = Arc::new(train);

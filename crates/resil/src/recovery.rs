@@ -91,6 +91,7 @@ impl ResilSpec {
             record_timeline: false,
             data_mode: DataMode::FullReplicated,
             cache: None,
+            data_service: None,
         }
     }
 }

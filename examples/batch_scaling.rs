@@ -71,6 +71,7 @@ fn main() {
                 record_timeline: false,
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
+                data_service: None,
             };
             match candle::run_parallel(&spec) {
                 Ok(out) => println!(

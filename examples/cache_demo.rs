@@ -109,6 +109,7 @@ fn main() {
             prefetch: true,
             source: CacheSource::Generate,
         }),
+        data_service: None,
     };
     let cold_run = run_parallel(&run_spec).expect("cold pipeline run");
     let warm_run = run_parallel(&run_spec).expect("warm pipeline run");

@@ -27,6 +27,7 @@ fn main() {
         record_timeline: true,
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
+        data_service: None,
     };
     println!("training NT3 on {workers} simulated workers (ring allreduce, lr x{workers})...");
     let out = candle::run_parallel(&spec).expect("training run");

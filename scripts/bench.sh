@@ -2,8 +2,9 @@
 # Kernel + ingest benchmark pass, fully offline. Runs the Criterion
 # kernel microbenches in --quick mode, then emits two machine-readable
 # comparisons at the repo root for CI to archive per commit:
-#   BENCH_KERNELS.json — seed vs blocked GEMM (names, ns/iter, GFLOP/s)
-#   BENCH_INGEST.json  — seed vs turbo CSV ingest (seconds, MiB/s, phases)
+#   BENCH_KERNELS.json  — seed vs blocked GEMM (names, ns/iter, GFLOP/s)
+#   BENCH_INGEST.json   — seed vs turbo CSV ingest (seconds, MiB/s, phases)
+#   BENCH_DATAPIPE.json — 32-job shared dataset service vs independent caches
 #
 # Usage: scripts/bench.sh [quick|full]
 #   quick (default) — shrunken shapes, finishes in a couple of minutes
@@ -28,6 +29,13 @@ if [ "$MODE" = "quick" ]; then
     cargo run --release --offline -p candle-bench --bin bench_ingest_json -- --quick --out BENCH_INGEST.json
 else
     cargo run --release --offline -p candle-bench --bin bench_ingest_json -- --out BENCH_INGEST.json
+fi
+
+echo "==> shared-service fleet comparison -> BENCH_DATAPIPE.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_datapipe_json -- --quick --out BENCH_DATAPIPE.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_datapipe_json -- --out BENCH_DATAPIPE.json
 fi
 
 echo "==> bench OK"

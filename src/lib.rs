@@ -5,6 +5,7 @@ pub use collectives;
 pub use dataio;
 pub use dlframe;
 pub use datacache;
+pub use datapipe;
 pub use experiments;
 pub use resil;
 pub use serve;

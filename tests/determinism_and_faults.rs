@@ -18,6 +18,7 @@ fn nt3_spec(workers: usize, seed: u64) -> ParallelRunSpec {
         record_timeline: false,
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
+        data_service: None,
     }
 }
 

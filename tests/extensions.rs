@@ -60,6 +60,7 @@ fn weak_scaling_accuracy_is_stable() {
             record_timeline: false,
             data_mode: DataMode::FullReplicated,
             cache: None,
+            data_service: None,
         };
         let out = candle::run_parallel(&spec).expect("weak run");
         accs.push(out.test_accuracy);
@@ -90,6 +91,7 @@ fn sharded_mode_learns() {
         record_timeline: false,
         data_mode: DataMode::Sharded,
         cache: None,
+        data_service: None,
     };
     let out = candle::run_parallel(&spec).expect("sharded run");
     assert!(out.test_accuracy > 0.85, "accuracy {}", out.test_accuracy);
