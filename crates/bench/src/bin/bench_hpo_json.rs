@@ -1,0 +1,109 @@
+//! Emits the deterministic ASHA hyperparameter search's scorecard as
+//! machine-readable JSON.
+//!
+//! `scripts/bench.sh` runs this after the datapipe pass and writes
+//! `BENCH_HPO.json` at the repo root so CI can archive per-commit search
+//! determinism and budget economics. The measurement comes from the same
+//! [`experiments::measure_hpo`] driver that backs the `table_hpo`
+//! experiment, so the JSON and the report always agree.
+//!
+//! Usage: `bench_hpo_json [--quick] [--out PATH]`
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_HPO.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: bench_hpo_json [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let m = experiments::measure_hpo(quick).unwrap_or_else(|| {
+        eprintln!("temp filesystem unavailable; cannot measure");
+        std::process::exit(1);
+    });
+    let fingerprints_identical = m
+        .worker_fingerprints
+        .iter()
+        .all(|&(_, fp)| fp == m.worker_fingerprints[0].1);
+    let (hits, misses) = m.report.datapipe_totals();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"deterministic ASHA hyperparameter search\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"optimized_build\": {},\n",
+        !cfg!(debug_assertions)
+    ));
+    json.push_str(&format!("  \"trials\": {},\n", m.report.config.trials));
+    json.push_str(&format!("  \"seed\": {},\n", m.report.config.seed));
+    json.push_str(&format!(
+        "  \"worker_fingerprints\": [{}],\n",
+        m.worker_fingerprints
+            .iter()
+            .map(|(w, fp)| format!("{{ \"workers\": {w}, \"fingerprint\": \"{fp:016x}\" }}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"fingerprints_identical\": {fingerprints_identical},\n"
+    ));
+    json.push_str(&format!("  \"winner\": {},\n", m.report.winner));
+    json.push_str(&format!(
+        "  \"winner_accuracy_full_budget\": {:.6},\n",
+        m.winner_acc
+    ));
+    json.push_str(&format!(
+        "  \"oracle\": {{ \"trial\": {}, \"accuracy\": {:.6} }},\n",
+        m.brute_best_id, m.brute_best_acc
+    ));
+    json.push_str(&format!(
+        "  \"resume_bit_exact\": {},\n",
+        m.resume_bit_exact
+    ));
+    json.push_str(&format!(
+        "  \"epochs\": {{ \"spent\": {}, \"full_budget\": {}, \"fraction\": {:.4} }},\n",
+        m.report.epochs_spent,
+        m.report.full_budget,
+        m.report.budget_fraction()
+    ));
+    json.push_str(&format!(
+        "  \"search_wall_s\": {:.6},\n",
+        m.report.wall_s
+    ));
+    json.push_str(&format!(
+        "  \"datapipe\": {{ \"shard_hits\": {hits}, \"shard_misses\": {misses} }}\n"
+    ));
+    json.push_str("}\n");
+
+    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(json.as_bytes()).expect("write JSON");
+    eprintln!(
+        "wrote {out_path}: {} trials, winner {} at accuracy {:.4} (oracle {:.4}) using \
+         {}/{} epochs, fingerprints_identical={fingerprints_identical}, \
+         resume_bit_exact={}",
+        m.report.config.trials,
+        m.report.winner,
+        m.winner_acc,
+        m.brute_best_acc,
+        m.report.epochs_spent,
+        m.report.full_budget,
+        m.resume_bit_exact
+    );
+}

@@ -13,15 +13,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a collective waits on a silent peer before declaring it lost.
-/// Collectives in this workspace exchange messages within a batch step, so
-/// prolonged silence means a dead or wedged worker, not a slow one. The
-/// window is deliberately large: no test waits for it to fire (a killed
-/// worker is detected by other means), it only converts a genuine hang
-/// into a typed error, and on a loaded single-CPU runner — e.g. `cargo
-/// test --workspace` interleaving test runs with compilation — a healthy
-/// 4-rank world can easily be starved for tens of seconds.
-const PEER_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default peer timeout: how long a collective waits on a silent peer
+/// before declaring it lost. Collectives in this workspace exchange
+/// messages within a batch step, so prolonged silence means a dead or
+/// wedged worker, not a slow one. The window is deliberately large: no
+/// test waits for it to fire (a killed worker is detected by other
+/// means), it only converts a genuine hang into a typed error, and on a
+/// loaded single-CPU runner — e.g. `cargo test --workspace` interleaving
+/// test runs with compilation — a healthy 4-rank world can easily be
+/// starved for tens of seconds. Latency-sensitive callers (elastic
+/// fleets that want fast failure detection) can pick their own window
+/// via [`Communicator::world_with_timeout`].
+pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(120);
 
 use crate::CommError;
 
@@ -64,6 +67,9 @@ pub struct Communicator {
     /// the shared barrier is still sized to the original world, so
     /// [`Communicator::barrier`] is forbidden from then on.
     shrunk: bool,
+    /// How long [`Communicator::recv`] waits on a silent peer before
+    /// returning [`CommError::PeerLost`].
+    peer_timeout: Duration,
 }
 
 impl Communicator {
@@ -73,7 +79,23 @@ impl Communicator {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn world(size: usize) -> Vec<Communicator> {
+        Self::world_with_timeout(size, DEFAULT_PEER_TIMEOUT)
+    }
+
+    /// Creates the full world with a caller-chosen peer timeout: the
+    /// window a rank waits on a silent peer before a collective fails
+    /// with [`CommError::PeerLost`]. [`Communicator::world`] uses
+    /// [`DEFAULT_PEER_TIMEOUT`].
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the timeout is zero (a zero window would
+    /// declare healthy peers lost on the first scheduling hiccup).
+    pub fn world_with_timeout(size: usize, peer_timeout: Duration) -> Vec<Communicator> {
         assert!(size > 0, "communicator size must be positive");
+        assert!(
+            peer_timeout > Duration::ZERO,
+            "peer timeout must be positive"
+        );
         let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..size).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let barrier = Arc::new(std::sync::Barrier::new(size));
@@ -92,6 +114,7 @@ impl Communicator {
                 barrier: Arc::clone(&barrier),
                 barrier_generation: Arc::clone(&generation),
                 shrunk: false,
+                peer_timeout,
             })
             .collect()
     }
@@ -116,6 +139,11 @@ impl Communicator {
     /// Communication counters accumulated so far.
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    /// The configured peer-silence window.
+    pub fn peer_timeout(&self) -> Duration {
+        self.peer_timeout
     }
 
     /// Sends `payload` to `dst` under the current operation id and `step`.
@@ -157,7 +185,7 @@ impl Communicator {
         loop {
             let msg = self
                 .receiver
-                .recv_timeout(PEER_TIMEOUT)
+                .recv_timeout(self.peer_timeout)
                 .map_err(|_| CommError::PeerLost { rank: src })?;
             if msg.src == src && msg.tag == tag {
                 return Ok(msg.payload);
@@ -246,6 +274,7 @@ impl Communicator {
             barrier: self.barrier,
             barrier_generation: self.barrier_generation,
             shrunk: true,
+            peer_timeout: self.peer_timeout,
         })
     }
 
@@ -363,6 +392,48 @@ mod tests {
         let ranks: Vec<usize> = world.iter().map(|c| c.rank()).collect();
         assert_eq!(ranks, vec![0, 1, 2, 3]);
         assert!(world.iter().all(|c| c.size() == 4));
+    }
+
+    #[test]
+    fn default_world_uses_default_timeout() {
+        let world = Communicator::world(2);
+        assert_eq!(world[0].peer_timeout(), DEFAULT_PEER_TIMEOUT);
+        assert_eq!(DEFAULT_PEER_TIMEOUT, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn configured_timeout_converts_silent_peer_into_peer_lost() {
+        // Rank 1 never participates; with a tight window rank 0's
+        // allreduce must fail typed (and fast) instead of hanging for
+        // the default two minutes.
+        let mut world = Communicator::world_with_timeout(2, Duration::from_millis(50));
+        let mut rank0 = world.remove(0);
+        let start = std::time::Instant::now();
+        let err = rank0.allreduce_mean(&mut [1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, CommError::PeerLost { .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "timeout did not bound the wait"
+        );
+    }
+
+    #[test]
+    fn timeout_survives_elastic_shrink() {
+        let timeout = Duration::from_secs(7);
+        let world = Communicator::world_with_timeout(3, timeout);
+        let alive = [true, false, true];
+        for (rank, comm) in world.into_iter().enumerate() {
+            match comm.shrink(&alive) {
+                Some(survivor) => assert_eq!(survivor.peer_timeout(), timeout),
+                None => assert_eq!(rank, 1),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peer timeout must be positive")]
+    fn zero_timeout_rejected() {
+        let _ = Communicator::world_with_timeout(2, Duration::ZERO);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod ring;
 mod timeline;
 mod world;
 
-pub use comm::{CommStats, Communicator};
+pub use comm::{CommStats, Communicator, DEFAULT_PEER_TIMEOUT};
 pub use fusion::{FusionPlan, DEFAULT_FUSION_THRESHOLD_BYTES};
 pub use hierarchical::hierarchical_allreduce;
 pub use optimizer::DistributedOptimizer;

@@ -1,0 +1,99 @@
+//! # hpo — a deterministic hyperparameter-optimization workload engine
+//!
+//! CANDLE's production value comes less from any single training run than
+//! from the *fleets* of them its mlrMBO/ASHA workflows schedule: hundreds
+//! of trials racing under a fixed epoch budget, most killed early, a few
+//! trained out. This crate reproduces that workload shape on the
+//! workspace's own stack and makes it a first-class measurement subject:
+//!
+//! * [`SearchSpace`] — seeded samplers (log-uniform lr, categorical batch
+//!   and width, uniform dropout); trial `i`'s configuration is a pure
+//!   function of `(seed, i)` through the `xrng` seed tree.
+//! * [`AshaConfig`] / [`promote`] — synchronous successive-halving rungs
+//!   with a total, platform-independent promotion order.
+//! * [`LocalExecutor`] — small *real* `dlframe` trainings; concurrent
+//!   trials share one `datapipe` decoded-shard pool, and every rung
+//!   boundary is a `resil` RCP1 checkpoint (pause/resume is the normal
+//!   path, and bit-exact).
+//! * [`ModelledExecutor`] — full-size trials priced in wall seconds and
+//!   joules on the calibrated `cluster` Summit/Theta simulator, with OOM
+//!   configurations absorbed as unpromotable failures.
+//! * [`run_search`] — the engine: same seed ⇒ same winner, same promotion
+//!   sequence, same parameter hashes, at any worker thread count, with
+//!   the whole cost anatomy surfaced through the `candle` profiler.
+
+pub mod asha;
+pub mod exec;
+pub mod search;
+pub mod space;
+
+pub use asha::{promote, AshaConfig, TrialId};
+pub use exec::{LocalExecutor, ModelledExecutor, RungOutcome, TrialExecutor};
+pub use search::{run_search, SearchConfig, SearchReport, TrialRecord};
+pub use space::{ParamSpec, SearchSpace, TrialParams};
+
+use datacache::CacheError;
+use datapipe::AdmitError;
+use resil::ResilError;
+
+/// Everything that can stop a search.
+#[derive(Debug)]
+pub enum HpoError {
+    /// The shared dataset service refused the trial's stream.
+    Admit(AdmitError),
+    /// The data plane failed while producing batches.
+    Data(CacheError),
+    /// Training or evaluation failed.
+    Train(String),
+    /// Checkpoint I/O at a rung boundary failed.
+    Ckpt(ResilError),
+    /// The cluster model rejected a modelled trial's configuration.
+    Model(String),
+    /// A resumed trial's checkpoint is missing or carries the wrong
+    /// epoch — the rung protocol was violated.
+    Resume {
+        /// The trial being resumed.
+        trial: TrialId,
+        /// The epoch the scheduler expected the checkpoint to carry.
+        expected: u64,
+        /// The epoch actually found (`None`: no valid checkpoint at all).
+        found: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for HpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HpoError::Admit(e) => write!(f, "trial admission failed: {e}"),
+            HpoError::Data(e) => write!(f, "trial data plane failed: {e}"),
+            HpoError::Train(msg) => write!(f, "trial training failed: {msg}"),
+            HpoError::Ckpt(e) => write!(f, "rung checkpoint failed: {e}"),
+            HpoError::Model(msg) => write!(f, "cluster model failed: {msg}"),
+            HpoError::Resume {
+                trial,
+                expected,
+                found: Some(found),
+            } => write!(
+                f,
+                "trial {trial} resume expected a checkpoint at epoch {expected}, found epoch {found}"
+            ),
+            HpoError::Resume {
+                trial, expected, ..
+            } => write!(
+                f,
+                "trial {trial} resume expected a checkpoint at epoch {expected}, found none"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HpoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HpoError::Admit(e) => Some(e),
+            HpoError::Data(e) => Some(e),
+            HpoError::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -36,6 +36,10 @@
 //!   resume-from-checkpoint in wall time and joules
 //!   (`RunReport::failure_recovery`), which `experiments::table_resil`
 //!   tabulates.
+//! * [`store`] — [`TrialStore`]: per-trial checkpoint chains under one
+//!   root with uniform `keep_last_n` retention, so a fleet of hundreds
+//!   of paused hyperparameter trials holds a bounded disk footprint
+//!   while every trial keeps an intact resume point.
 //! * [`inject`] — disk-level fault injection for the dataset cache:
 //!   deterministic shard byte-flips that `datacache` must answer with
 //!   typed `Corrupt` errors, plus the evict-and-rebuild recovery path.
@@ -45,9 +49,11 @@ pub mod elastic;
 pub mod inject;
 pub mod plan;
 pub mod recovery;
+pub mod store;
 pub mod summit;
 
 pub use ckpt::{CheckpointManager, TrainState};
+pub use store::TrialStore;
 pub use elastic::{run_elastic, ElasticOutcome, ElasticSpec};
 pub use inject::{apply_shard_faults, corrupt_shard, evict_if_corrupt, scan_shards};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec};

@@ -5,6 +5,7 @@
 #   BENCH_KERNELS.json  — seed vs blocked GEMM (names, ns/iter, GFLOP/s)
 #   BENCH_INGEST.json   — seed vs turbo CSV ingest (seconds, MiB/s, phases)
 #   BENCH_DATAPIPE.json — 32-job shared dataset service vs independent caches
+#   BENCH_HPO.json      — deterministic ASHA search (fingerprints, budget, oracle)
 #
 # Usage: scripts/bench.sh [quick|full]
 #   quick (default) — shrunken shapes, finishes in a couple of minutes
@@ -36,6 +37,13 @@ if [ "$MODE" = "quick" ]; then
     cargo run --release --offline -p candle-bench --bin bench_datapipe_json -- --quick --out BENCH_DATAPIPE.json
 else
     cargo run --release --offline -p candle-bench --bin bench_datapipe_json -- --out BENCH_DATAPIPE.json
+fi
+
+echo "==> deterministic ASHA search scorecard -> BENCH_HPO.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_hpo_json -- --quick --out BENCH_HPO.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_hpo_json -- --out BENCH_HPO.json
 fi
 
 echo "==> bench OK"
