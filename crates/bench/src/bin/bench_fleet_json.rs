@@ -1,0 +1,103 @@
+//! Emits the autoscaling serving-fleet comparison as machine-readable
+//! JSON.
+//!
+//! `scripts/bench.sh` runs this after the HPO pass and writes
+//! `BENCH_FLEET.json` at the repo root so CI can archive per-commit SLO
+//! attainment and joules-per-request for the three capacity policies
+//! (fixed-mean, fixed-peak, autoscaled). The measurement comes from the
+//! same [`experiments::measure_fleet_comparison`] driver that backs the
+//! `table_fleet` experiment — a deterministic virtual-time simulation,
+//! so successive runs of the same binary produce identical JSON.
+//!
+//! Usage: `bench_fleet_json [--quick] [--out PATH]`
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_FLEET.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_fleet_json [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = experiments::measure_fleet_comparison(quick);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"SLO-aware autoscaling serving fleet\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"optimized_build\": {},\n",
+        !cfg!(debug_assertions)
+    ));
+    json.push_str("  \"fleets\": [\n");
+    for (i, c) in rows.iter().enumerate() {
+        let r = &c.report;
+        json.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"replicas\": {}, \"offered\": {}, \
+             \"completed\": {}, \"shed\": {}, \"overloaded\": {}, \
+             \"worst_window_p99_ms\": {:.3}, \"slo_attainment\": {:.6}, \
+             \"replica_seconds\": {:.3}, \"energy_j\": {:.3}, \
+             \"avg_power_w\": {:.3}, \"joules_per_request\": {:.6}, \
+             \"scale_decisions\": {}, \"outcome_fingerprint\": \"{:016x}\", \
+             \"decision_fingerprint\": \"{:016x}\" }}{}\n",
+            c.label,
+            c.replicas,
+            r.offered,
+            r.completed,
+            r.shed,
+            r.overloaded,
+            r.worst_window_p99_s * 1e3,
+            r.slo_attainment(),
+            r.replica_seconds,
+            r.energy_j,
+            r.avg_power_w,
+            r.joules_per_request,
+            r.decisions.len(),
+            r.outcome_fingerprint,
+            r.decision_fingerprint,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let auto = &rows[2].report;
+    let peak = &rows[1].report;
+    json.push_str(&format!(
+        "  \"auto_vs_peak_energy_ratio\": {:.6},\n",
+        auto.energy_j / peak.energy_j
+    ));
+    json.push_str(&format!(
+        "  \"auto_holds_slo\": {}\n",
+        auto.worst_window_p99_s <= 0.25
+    ));
+    json.push_str("}\n");
+
+    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(json.as_bytes()).expect("write JSON");
+    eprintln!(
+        "wrote {out_path}: auto worst p99 {:.1} ms vs fixed-peak {:.1} ms, \
+         energy ratio {:.3}, joules/request {:.3} vs {:.3}",
+        auto.worst_window_p99_s * 1e3,
+        peak.worst_window_p99_s * 1e3,
+        auto.energy_j / peak.energy_j,
+        auto.joules_per_request,
+        peak.joules_per_request
+    );
+}

@@ -34,7 +34,7 @@ pub mod run;
 pub use comm::{CommModel, NcclVersion};
 pub use io::{contention_factor, fleet_load_seconds, load_seconds, DataPlane, LoadMethod};
 pub use machine::{Machine, MachineSpec, PowerState};
-pub use power::{build_power_trace, PowerSummary};
+pub use power::{build_power_trace, fleet_power, FleetPowerSummary, PowerPhase, PowerSummary};
 pub use run::{
     RecoveryCost, RunConfig, RunError, RunPhase, RunReport, ScalingMode, WorkloadProfile,
 };

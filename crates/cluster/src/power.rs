@@ -108,6 +108,70 @@ pub fn build_power_trace(spec: &MachineSpec, phases: &[PowerPhase]) -> PowerSumm
     }
 }
 
+/// Energy accounting for a *fleet* of devices — one phase schedule per
+/// replica slot, each replayed through [`build_power_trace`].
+///
+/// The serving fleet prices every scaling decision in watts: a replica
+/// that exists burns at least idle power, so the cheapest fleet that
+/// holds the SLO is the one that holds capacity only while the traffic
+/// needs it. This summary is how that claim is settled — total joules
+/// over the run, per-replica breakdown, and joules per served request.
+#[derive(Debug, Clone)]
+pub struct FleetPowerSummary {
+    /// Exact energy of each replica slot over the run (joules).
+    pub replica_energy_j: Vec<f64>,
+    /// Total fleet energy (joules).
+    pub energy_j: f64,
+    /// Time-weighted average fleet power (watts), over the longest
+    /// replica schedule.
+    pub avg_power_w: f64,
+    /// Duration of the longest replica schedule (seconds).
+    pub duration_s: f64,
+}
+
+impl FleetPowerSummary {
+    /// Joules per request for `completed` served requests (infinite when
+    /// nothing completed — an idle fleet has no useful work to amortize
+    /// its wattage over).
+    pub fn joules_per_request(&self, completed: u64) -> f64 {
+        if completed == 0 {
+            f64::INFINITY
+        } else {
+            self.energy_j / completed as f64
+        }
+    }
+}
+
+/// Builds per-replica power traces and sums fleet energy.
+///
+/// Each element of `replicas` is one replica slot's phase schedule.
+/// A slot that is offline for part of the run must say so explicitly
+/// with 0 W phases — [`build_power_trace`] idles gaps at the machine's
+/// idle wattage, which models a powered-but-idle device, not an
+/// unprovisioned one.
+///
+/// # Panics
+/// Panics if any replica's phases overlap or run backwards in time.
+pub fn fleet_power(spec: &MachineSpec, replicas: &[Vec<PowerPhase>]) -> FleetPowerSummary {
+    let summaries: Vec<PowerSummary> = replicas
+        .iter()
+        .map(|phases| build_power_trace(spec, phases))
+        .collect();
+    let replica_energy_j: Vec<f64> = summaries.iter().map(|s| s.energy_j).collect();
+    let energy_j = replica_energy_j.iter().sum();
+    let duration_s = summaries.iter().map(|s| s.duration_s).fold(0.0, f64::max);
+    FleetPowerSummary {
+        replica_energy_j,
+        energy_j,
+        avg_power_w: if duration_s > 0.0 {
+            energy_j / duration_s
+        } else {
+            0.0
+        },
+        duration_s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +304,72 @@ mod tests {
         let s = build_power_trace(&Machine::Summit.spec(), &[]);
         assert_eq!(s.energy_j, 0.0);
         assert_eq!(s.duration_s, 0.0);
+    }
+
+    #[test]
+    fn fleet_power_sums_replica_energies() {
+        let spec = Machine::Summit.spec();
+        let serving = |w: f64| {
+            vec![PowerPhase {
+                name: "serve".into(),
+                start_s: 0.0,
+                duration_s: 100.0,
+                power_w: w,
+            }]
+        };
+        let f = fleet_power(&spec, &[serving(100.0), serving(50.0)]);
+        assert_eq!(f.replica_energy_j.len(), 2);
+        assert!((f.replica_energy_j[0] - 10_000.0).abs() < 1e-6);
+        assert!((f.replica_energy_j[1] - 5_000.0).abs() < 1e-6);
+        assert!((f.energy_j - 15_000.0).abs() < 1e-6);
+        assert!((f.duration_s - 100.0).abs() < 1e-9);
+        assert!((f.avg_power_w - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_slots_burn_nothing() {
+        let spec = Machine::Summit.spec();
+        // Replica 1 exists only for the second half of the run; the
+        // first half is explicit 0 W (unprovisioned, not idle).
+        let late = vec![
+            PowerPhase {
+                name: "offline".into(),
+                start_s: 0.0,
+                duration_s: 50.0,
+                power_w: 0.0,
+            },
+            PowerPhase {
+                name: "serve".into(),
+                start_s: 50.0,
+                duration_s: 50.0,
+                power_w: 100.0,
+            },
+        ];
+        let f = fleet_power(&spec, &[late]);
+        assert!((f.energy_j - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joules_per_request_amortizes_or_diverges() {
+        let spec = Machine::Summit.spec();
+        let f = fleet_power(
+            &spec,
+            &[vec![PowerPhase {
+                name: "serve".into(),
+                start_s: 0.0,
+                duration_s: 10.0,
+                power_w: 100.0,
+            }]],
+        );
+        assert!((f.joules_per_request(1000) - 1.0).abs() < 1e-9);
+        assert!(f.joules_per_request(0).is_infinite());
+    }
+
+    #[test]
+    fn empty_fleet_is_zero() {
+        let f = fleet_power(&Machine::Summit.spec(), &[]);
+        assert_eq!(f.energy_j, 0.0);
+        assert_eq!(f.duration_s, 0.0);
+        assert_eq!(f.avg_power_w, 0.0);
     }
 }

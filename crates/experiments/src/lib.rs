@@ -23,6 +23,7 @@ mod figures_batch;
 mod figures_improve;
 mod figures_strong;
 mod figures_weak;
+mod fleet_table;
 mod functional;
 mod hpo_table;
 mod ingest_table;
@@ -43,6 +44,7 @@ pub use figures_batch::fig10;
 pub use figures_improve::{fig11, fig12, fig13, fig14, fig15, fig16, fig17};
 pub use figures_strong::{fig6, fig7, fig8, fig9};
 pub use figures_weak::{fig18, fig19, fig20, fig21};
+pub use fleet_table::{measure_fleet_comparison, table_fleet, FleetComparison};
 pub use functional::{accuracy_sweep, AccuracyPoint};
 pub use hpo_table::{measure_hpo, table_hpo, HpoMeasurement};
 pub use ingest_table::{measure_ingest_comparison, table_ingest, IngestComparison};
@@ -91,6 +93,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         table_ingest(quick),
         table_datapipe(quick),
         table_hpo(quick),
+        table_fleet(quick),
     ]
 }
 
@@ -99,7 +102,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 29);
+        assert_eq!(experiments.len(), 30);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -115,5 +118,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table_ingest"));
         assert!(experiments.iter().any(|e| e.id == "table_datapipe"));
         assert!(experiments.iter().any(|e| e.id == "table_hpo"));
+        assert!(experiments.iter().any(|e| e.id == "table_fleet"));
     }
 }

@@ -1,0 +1,257 @@
+//! Seeded open-loop traffic traces: diurnal baseline plus bursts.
+//!
+//! Production serving load is not a constant-rate Poisson stream: it has
+//! a slow daily swing and sharp bursts (a product launch, a retry storm).
+//! The autoscaler exists precisely for that shape, so the trace generator
+//! produces it deterministically: arrivals are an inhomogeneous Poisson
+//! process whose rate function is `base · (1 + amp·sin)` plus a sum of
+//! rectangular bursts, sampled by Lewis–Shedler thinning from a seeded
+//! `xrng` stream. The arrival sequence is a pure function of the
+//! [`TraceConfig`] — two iterations yield bit-identical timestamps, which
+//! is what makes whole fleet simulations replayable.
+
+use xrng::RandomSource;
+
+/// One rectangular burst riding on the diurnal baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst onset, seconds from trace start.
+    pub start_s: f64,
+    /// Burst length, seconds.
+    pub duration_s: f64,
+    /// Arrival rate *added* to the baseline while the burst is active,
+    /// requests per second.
+    pub extra_rps: f64,
+}
+
+/// A seeded diurnal + bursty open-loop arrival trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Seed for the arrival process (thinning draws).
+    pub seed: u64,
+    /// Trace length in (virtual) seconds.
+    pub duration_s: f64,
+    /// Baseline mean arrival rate, requests per second.
+    pub base_rps: f64,
+    /// Diurnal modulation amplitude in `[0, 1)`: the baseline swings
+    /// between `base·(1-amp)` and `base·(1+amp)`.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period, seconds (a compressed "day").
+    pub diurnal_period_s: f64,
+    /// Bursts riding on the baseline.
+    pub bursts: Vec<Burst>,
+}
+
+impl TraceConfig {
+    /// The instantaneous arrival rate at `t_s`, requests per second.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let mut rate = self.base_rps
+            * (1.0
+                + self.diurnal_amplitude
+                    * (2.0 * std::f64::consts::PI * t_s / self.diurnal_period_s).sin());
+        for b in &self.bursts {
+            if t_s >= b.start_s && t_s < b.start_s + b.duration_s {
+                rate += b.extra_rps;
+            }
+        }
+        rate.max(0.0)
+    }
+
+    /// An upper bound on [`TraceConfig::rate_at`] over the whole trace —
+    /// the thinning envelope. Overlapping bursts are summed, so the
+    /// bound is safe (if loose) for any burst layout.
+    pub fn peak_rps(&self) -> f64 {
+        self.base_rps * (1.0 + self.diurnal_amplitude)
+            + self.bursts.iter().map(|b| b.extra_rps).sum::<f64>()
+    }
+
+    /// The time-averaged arrival rate (exact integral of the rate
+    /// function over the trace divided by its duration).
+    pub fn mean_rps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        // ∫ base·(1 + amp·sin(2πt/P)) dt = base·T - base·amp·P/(2π)·(cos(2πT/P) - 1)
+        let w = 2.0 * std::f64::consts::PI / self.diurnal_period_s;
+        let diurnal_mass = self.base_rps * self.duration_s
+            - self.base_rps * self.diurnal_amplitude / w * ((w * self.duration_s).cos() - 1.0);
+        let burst_mass: f64 = self
+            .bursts
+            .iter()
+            .map(|b| {
+                let end = (b.start_s + b.duration_s).min(self.duration_s);
+                b.extra_rps * (end - b.start_s.min(self.duration_s)).max(0.0)
+            })
+            .sum();
+        (diurnal_mass + burst_mass) / self.duration_s
+    }
+
+    /// Expected number of arrivals over the trace.
+    pub fn expected_requests(&self) -> f64 {
+        self.mean_rps() * self.duration_s
+    }
+
+    /// The arrival iterator: a pure function of this config.
+    pub fn arrivals(&self) -> TraceIter<'_> {
+        TraceIter {
+            config: self,
+            rng: xrng::seeded(xrng::derive_seed(self.seed, 0x7261_6365)), // "race"
+            t_s: 0.0,
+            index: 0,
+            peak: self.peak_rps(),
+        }
+    }
+}
+
+/// One arrival of the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// 0-based arrival index (also the request's identity for seeded
+    /// feature generation).
+    pub index: u64,
+    /// Arrival time, seconds from trace start.
+    pub t_s: f64,
+}
+
+/// Lewis–Shedler thinning iterator over the trace's rate function.
+#[derive(Debug, Clone)]
+pub struct TraceIter<'a> {
+    config: &'a TraceConfig,
+    rng: xrng::Rng,
+    t_s: f64,
+    index: u64,
+    peak: f64,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.peak <= 0.0 {
+            return None;
+        }
+        loop {
+            // Candidate from the homogeneous envelope process.
+            let u = self.rng.next_f64();
+            self.t_s += -(1.0 - u).ln() / self.peak;
+            if self.t_s >= self.config.duration_s {
+                return None;
+            }
+            // Accept with probability rate(t)/peak.
+            if self.rng.next_f64() * self.peak < self.config.rate_at(self.t_s) {
+                let a = Arrival {
+                    index: self.index,
+                    t_s: self.t_s,
+                };
+                self.index += 1;
+                return Some(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TraceConfig {
+        TraceConfig {
+            seed: 7,
+            duration_s: 200.0,
+            base_rps: 100.0,
+            diurnal_amplitude: 0.3,
+            diurnal_period_s: 200.0,
+            bursts: vec![Burst {
+                start_s: 80.0,
+                duration_s: 20.0,
+                extra_rps: 400.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn arrivals_are_bit_identical_across_iterations() {
+        let cfg = config();
+        let a: Vec<Arrival> = cfg.arrivals().collect();
+        let b: Vec<Arrival> = cfg.arrivals().collect();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "trace is not a pure function of its config");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut other = config();
+        other.seed = 8;
+        let a: Vec<Arrival> = config().arrivals().take(50).collect();
+        let b: Vec<Arrival> = other.arrivals().take(50).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_in_range() {
+        let cfg = config();
+        let mut last = 0.0;
+        for a in cfg.arrivals() {
+            assert!(a.t_s >= last, "arrivals must be non-decreasing");
+            assert!(a.t_s < cfg.duration_s);
+            last = a.t_s;
+        }
+    }
+
+    #[test]
+    fn count_tracks_expected_mass() {
+        let cfg = config();
+        let n = cfg.arrivals().count() as f64;
+        let expect = cfg.expected_requests();
+        // Poisson sd is sqrt(mass); allow 5 sigma.
+        assert!(
+            (n - expect).abs() < 5.0 * expect.sqrt(),
+            "{n} arrivals vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn burst_region_is_denser() {
+        let cfg = config();
+        let in_burst = cfg
+            .arrivals()
+            .filter(|a| a.t_s >= 80.0 && a.t_s < 100.0)
+            .count() as f64;
+        let before = cfg
+            .arrivals()
+            .filter(|a| a.t_s >= 40.0 && a.t_s < 60.0)
+            .count() as f64;
+        assert!(
+            in_burst > 2.5 * before,
+            "burst window not denser: {in_burst} vs {before}"
+        );
+    }
+
+    #[test]
+    fn rate_function_shape() {
+        let cfg = config();
+        assert!((cfg.rate_at(0.0) - 100.0).abs() < 1e-9);
+        // Quarter period: sin peak.
+        assert!((cfg.rate_at(50.0) - 130.0).abs() < 1e-9);
+        // Inside the burst at t=90 (sin(0.9π) small positive).
+        assert!(cfg.rate_at(90.0) > 400.0);
+        assert!(cfg.peak_rps() >= cfg.rate_at(90.0));
+        // Mean sits between baseline extremes plus burst mass.
+        let mean = cfg.mean_rps();
+        assert!(mean > 100.0 && mean < 200.0, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let cfg = TraceConfig {
+            seed: 1,
+            duration_s: 0.0,
+            base_rps: 100.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period_s: 100.0,
+            bursts: vec![],
+        };
+        assert_eq!(cfg.arrivals().count(), 0);
+        assert_eq!(cfg.mean_rps(), 0.0);
+    }
+}

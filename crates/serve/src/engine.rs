@@ -99,6 +99,10 @@ impl Ticket {
 struct Request {
     features: Vec<f32>,
     enqueued: Instant,
+    /// Absolute per-request deadline; a request still queued past it is
+    /// answered with [`ServeError::DeadlineExceeded`] instead of being
+    /// included in a forward pass.
+    deadline: Option<Instant>,
     reply: Sender<Result<Prediction, ServeError>>,
 }
 
@@ -142,14 +146,40 @@ impl ServeHandle {
     /// Submits one feature row for prediction, failing fast when the
     /// engine is at capacity ([`ServeError::Overloaded`]) or stopping.
     pub fn submit(&self, features: Vec<f32>) -> Result<Ticket, ServeError> {
-        if self.stopping.load(Ordering::Acquire) {
+        self.submit_inner(features, None)
+    }
+
+    /// Submits one feature row with a latency `budget`: if the request is
+    /// still queued once the budget has elapsed, it is dropped before the
+    /// batch forward pass and answered with
+    /// [`ServeError::DeadlineExceeded`] — bounded staleness instead of a
+    /// reply nobody can use.
+    pub fn submit_with_deadline(
+        &self,
+        features: Vec<f32>,
+        budget: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(features, Some(Instant::now() + budget))
+    }
+
+    fn submit_inner(
+        &self,
+        features: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        // Reserve the in-flight slot BEFORE the stopping check (SeqCst,
+        // Dekker-style pairing with the shutdown drain): the drain loop
+        // only exits once `depth` reaches zero, so a submission that
+        // observed `stopping == false` has already published its slot
+        // and is guaranteed to be answered. The slot is released by the
+        // worker when the reply is sent.
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst);
+        if self.stopping.load(Ordering::SeqCst) {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(ServeError::ShuttingDown);
         }
-        // Reserve an in-flight slot before enqueueing; the slot is
-        // released by the worker when the reply is sent.
-        let depth = self.depth.fetch_add(1, Ordering::AcqRel);
         if depth >= self.capacity {
-            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded {
                 depth,
@@ -160,10 +190,11 @@ impl ServeHandle {
         let req = Request {
             features,
             enqueued: Instant::now(),
+            deadline,
             reply,
         };
         if self.tx.send(req).is_err() {
-            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(ServeError::ShuttingDown);
         }
         Ok(Ticket { rx })
@@ -280,7 +311,7 @@ impl ServeEngine {
     }
 
     fn stop_and_join(&mut self) {
-        self.stopping.store(true, Ordering::Release);
+        self.stopping.store(true, Ordering::SeqCst);
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
@@ -308,25 +339,45 @@ fn batcher_loop(
             Ok(first) => {
                 let batch = collect_batch(&rx, first, &cfg);
                 dispatch(batch, &ctx, &pool);
+                // Check between batches too: a loaded engine would
+                // otherwise never hit the idle tick and never stop.
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if stopping.load(Ordering::Acquire) {
+                if stopping.load(Ordering::SeqCst) {
                     break;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
-    // Graceful drain: answer everything already queued at shutdown.
-    while let Ok(first) = rx.try_recv() {
-        let mut batch = vec![first];
-        while batch.len() < cfg.max_batch {
-            match rx.try_recv() {
-                Ok(r) => batch.push(r),
-                Err(_) => break,
+    // Graceful drain: answer every admitted request. `depth` counts
+    // queued + executing requests, and any submission that raced the
+    // stop flag has already reserved its slot (SeqCst pairing in
+    // `ServeHandle::submit_inner`), so draining until depth reaches zero
+    // strands nothing — including requests enqueued *after* the stop
+    // flag was set by a submit that won the race.
+    loop {
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(first) => {
+                let mut batch = vec![first];
+                while batch.len() < cfg.max_batch {
+                    match rx.try_recv() {
+                        Ok(r) => batch.push(r),
+                        Err(_) => break,
+                    }
+                }
+                dispatch(batch, &ctx, &pool);
             }
+            Err(RecvTimeoutError::Timeout) => {
+                if ctx.depth.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
         }
-        dispatch(batch, &ctx, &pool);
     }
 }
 
@@ -387,14 +438,29 @@ impl Drop for PendingBatch<'_> {
 fn run_batch(batch: Vec<Request>, ctx: &Ctx) {
     let dispatched = Instant::now();
     let seq = ctx.batch_seq.fetch_add(1, Ordering::Relaxed);
+    // Expired requests are answered (and dropped) *before* the forward
+    // pass: running the model for a reply nobody can use wastes the
+    // batch's capacity exactly when the queue is deepest.
+    let mut live = Vec::with_capacity(batch.len());
+    for r in batch {
+        if r.deadline.is_some_and(|d| dispatched >= d) {
+            ctx.stats.expired.fetch_add(1, Ordering::Relaxed);
+            finish(r, Err(ServeError::DeadlineExceeded), ctx);
+        } else {
+            live.push(r);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
     // All rows in a batch must share the first row's width; stragglers
     // are answered individually so they cannot poison the forward pass.
-    let width = batch[0].features.len();
+    let width = live[0].features.len();
     let mut pending = PendingBatch {
-        requests: Vec::with_capacity(batch.len()),
+        requests: Vec::with_capacity(live.len()),
         ctx,
     };
-    for r in batch {
+    for r in live {
         if r.features.len() == width {
             pending.requests.push(r);
         } else {
@@ -747,6 +813,122 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.worker_restarts, 1);
         assert_eq!(report.completed, 11);
+    }
+
+    #[test]
+    fn expired_requests_drop_before_batch_forward() {
+        let m = model(11, 4, 2);
+        // A long flush window guarantees the queued request's deadline
+        // elapses before its batch dispatches.
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(80),
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let expired = handle
+            .submit_with_deadline(row(0, 4), Duration::from_millis(1))
+            .unwrap();
+        let fresh = handle
+            .submit_with_deadline(row(1, 4), Duration::from_secs(30))
+            .unwrap();
+        assert!(matches!(expired.wait(), Err(ServeError::DeadlineExceeded)));
+        assert!(fresh.wait().is_ok());
+        assert_eq!(handle.depth(), 0, "expired request leaked its slot");
+        let report = engine.shutdown();
+        assert_eq!(report.deadline_expired, 1);
+        assert_eq!(report.completed, 1);
+        // The expired request never entered a forward pass: the batch's
+        // latency histogram saw only the fresh request.
+        assert_eq!(report.latency.count, 1);
+    }
+
+    #[test]
+    fn fully_expired_batch_runs_no_forward() {
+        let m = model(12, 4, 2);
+        // max_batch above the submission count: the batch holds for the
+        // full 60 ms flush window, past every 1 ms deadline.
+        let engine = ServeEngine::start(
+            m,
+            ServeConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(60),
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                handle
+                    .submit_with_deadline(row(i, 4), Duration::from_millis(1))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            assert!(matches!(t.wait(), Err(ServeError::DeadlineExceeded)));
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.deadline_expired, 4);
+        assert_eq!(report.completed, 0);
+        // No forward pass ran for the all-expired batch.
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn shutdown_under_load_answers_every_admitted_request() {
+        use std::sync::atomic::AtomicU64;
+        // Regression for the submit-vs-drain race: a submission that
+        // observes `stopping == false` just as shutdown begins must still
+        // be served — previously the drain loop could finish before the
+        // racing request hit the queue, stranding its ticket.
+        for round in 0..5u64 {
+            let m = model(20 + round, 4, 2);
+            let engine = ServeEngine::start(
+                m,
+                ServeConfig {
+                    max_batch: 8,
+                    max_wait: Duration::from_micros(200),
+                    queue_capacity: 4096,
+                    workers: 2,
+                    ..Default::default()
+                },
+            );
+            let handle = engine.handle();
+            let admitted = AtomicU64::new(0);
+            let answered = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for c in 0..4u64 {
+                    let handle = handle.clone();
+                    let (admitted, answered) = (&admitted, &answered);
+                    scope.spawn(move || {
+                        for i in 0..300u64 {
+                            match handle.submit(row((c * 1000 + i) as usize, 4)) {
+                                Ok(t) => {
+                                    admitted.fetch_add(1, Ordering::Relaxed);
+                                    // Every admitted ticket must resolve to a
+                                    // real prediction, never hang or error.
+                                    t.wait().expect("admitted request stranded by shutdown");
+                                    answered.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(ServeError::ShuttingDown) => break,
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                    });
+                }
+                // Stop mid-stream while the submitters are racing.
+                std::thread::sleep(Duration::from_millis(2));
+                let report = engine.shutdown();
+                assert_eq!(report.shed, 0);
+            });
+            let (a, b) = (admitted.into_inner(), answered.into_inner());
+            assert_eq!(a, b, "round {round}: {a} admitted but only {b} answered");
+        }
     }
 
     #[test]

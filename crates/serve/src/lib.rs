@@ -63,6 +63,10 @@ pub enum ServeError {
     /// The engine is shutting down (or has shut down) and no longer
     /// accepts or answers requests.
     ShuttingDown,
+    /// The request's [`crate::ServeHandle::submit_with_deadline`] budget
+    /// elapsed while it was still queued; it was dropped before the
+    /// batch forward pass.
+    DeadlineExceeded,
     /// The request was malformed (e.g. feature width differs from the
     /// rest of its batch's — and therefore the model's — input width).
     BadRequest(String),
@@ -81,6 +85,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "overloaded: {depth} in-flight requests (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline elapsed before batch dispatch")
+            }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::WorkerCrashed => {

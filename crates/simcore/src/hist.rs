@@ -198,6 +198,15 @@ impl LogHistogram {
     pub fn relative_error(&self) -> f64 {
         self.growth.sqrt() - 1.0
     }
+
+    /// Drops every sample, keeping the geometry.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
 }
 
 #[cfg(test)]

@@ -12,16 +12,21 @@
 //!   integration, used for power traces and energy accounting;
 //! * [`LogHistogram`] — a log-bucketed histogram with bounded relative
 //!   quantile error, shared by the trace analysis and the `serve` crate's
-//!   latency instrumentation.
+//!   latency instrumentation;
+//! * [`WindowedHistogram`] — a rolling-window ring of [`LogHistogram`]
+//!   slices (recent p99 over the last N seconds, mergeable), the input
+//!   signal of the `fleet` autoscaler.
 
 mod engine;
 mod hist;
 mod resource;
 mod series;
 mod time;
+mod windowed;
 
 pub use engine::{Engine, EventQueue};
 pub use hist::LogHistogram;
 pub use resource::FifoResource;
 pub use series::TimeSeries;
 pub use time::SimTime;
+pub use windowed::WindowedHistogram;

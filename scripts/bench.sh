@@ -6,6 +6,7 @@
 #   BENCH_INGEST.json   — seed vs turbo CSV ingest (seconds, MiB/s, phases)
 #   BENCH_DATAPIPE.json — 32-job shared dataset service vs independent caches
 #   BENCH_HPO.json      — deterministic ASHA search (fingerprints, budget, oracle)
+#   BENCH_FLEET.json    — autoscaled vs fixed serving fleets (SLO, joules/request)
 #
 # Usage: scripts/bench.sh [quick|full]
 #   quick (default) — shrunken shapes, finishes in a couple of minutes
@@ -44,6 +45,13 @@ if [ "$MODE" = "quick" ]; then
     cargo run --release --offline -p candle-bench --bin bench_hpo_json -- --quick --out BENCH_HPO.json
 else
     cargo run --release --offline -p candle-bench --bin bench_hpo_json -- --out BENCH_HPO.json
+fi
+
+echo "==> autoscaling fleet comparison -> BENCH_FLEET.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_fleet_json -- --quick --out BENCH_FLEET.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_fleet_json -- --out BENCH_FLEET.json
 fi
 
 echo "==> bench OK"

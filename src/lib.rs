@@ -7,6 +7,7 @@ pub use dlframe;
 pub use datacache;
 pub use datapipe;
 pub use experiments;
+pub use fleet;
 pub use hpo;
 pub use resil;
 pub use serve;
