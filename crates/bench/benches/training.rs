@@ -22,6 +22,7 @@ fn epoch_spec(bench: Bench, workers: usize) -> ParallelRunSpec {
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     }
 }
 

@@ -1,0 +1,97 @@
+//! Emits the blocking-vs-overlapped gradient-sync comparison as
+//! machine-readable JSON.
+//!
+//! `scripts/bench.sh` runs this after the kernel pass and writes
+//! `BENCH_OVERLAP.json` at the repo root so CI can archive the
+//! comm/compute-overlap numbers per commit. The measurements come from
+//! the same [`experiments::measure_overlap_comparison`] driver that backs
+//! the `table_overlap` experiment, so the JSON and the report always
+//! agree.
+//!
+//! Usage: `bench_overlap_json [--quick] [--out PATH]`
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_OVERLAP.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_overlap_json [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = experiments::measure_overlap_comparison(quick);
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"blocking vs overlapped gradient allreduce (NT3)\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"optimized_build\": {},\n",
+        !cfg!(debug_assertions)
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"workers\": {},\n", r.workers));
+        json.push_str(&format!(
+            "      \"blocking_epoch_s\": {:.6},\n",
+            r.blocking_epoch_s
+        ));
+        json.push_str(&format!(
+            "      \"overlapped_epoch_s\": {:.6},\n",
+            r.overlapped_epoch_s
+        ));
+        json.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup()));
+        json.push_str(&format!(
+            "      \"comm_hidden_s\": {:.6},\n",
+            r.comm_hidden_s
+        ));
+        json.push_str(&format!(
+            "      \"comm_exposed_s\": {:.6},\n",
+            r.comm_exposed_s
+        ));
+        json.push_str(&format!(
+            "      \"exposed_fraction\": {:.4},\n",
+            r.exposed_fraction()
+        ));
+        json.push_str(&format!(
+            "      \"predicted_exposed_fraction\": {:.4},\n",
+            r.predicted_exposed_fraction()
+        ));
+        json.push_str(&format!("      \"buckets\": {},\n", r.buckets));
+        json.push_str(&format!("      \"steps\": {}\n", r.steps));
+        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(json.as_bytes()).expect("write JSON");
+    eprintln!("wrote {} overlap comparisons to {out_path}", rows.len());
+    for r in &rows {
+        eprintln!(
+            "  {:>2} workers  blocking {:>8.3}s/ep  overlapped {:>8.3}s/ep  \
+             {:>5.2}x  exposed {:>3.0}%",
+            r.workers,
+            r.blocking_epoch_s,
+            r.overlapped_epoch_s,
+            r.speedup(),
+            r.exposed_fraction() * 100.0
+        );
+    }
+}

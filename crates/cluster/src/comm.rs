@@ -133,6 +133,48 @@ impl CommModel {
             + 2.0 * (n - 1.0) / n * bytes / self.spec.allreduce_bandwidth_bps
     }
 
+    /// Overlap-aware allreduce mode: the **exposed** communication seconds
+    /// per batch step when per-bucket allreduces are pipelined under the
+    /// backward pass (the async bucketed engine in `collectives::overlap`).
+    ///
+    /// Bucket `i` (readiness order) becomes ready once backward has
+    /// produced its share of the gradient bytes (`ready_i = backward ×
+    /// cumulative-byte-fraction_i`); the single comm lane then serializes
+    /// the per-bucket rings: `done_i = max(done_{i−1}, ready_i) + comm_i`,
+    /// and `exposed = max(0, done_last − backward)`. Equivalently
+    /// `comm_hidden = comm_total − exposed`, which for well-sized buckets
+    /// approaches `min(comm_total, backward_tail)` — the tail of backward
+    /// available after the first bucket is ready. A single bucket is ready
+    /// only when backward ends, so nothing hides and the mode degenerates
+    /// to [`CommModel::allreduce_seconds`]; more buckets hide more but pay
+    /// the `λ·N^0.6` coordination term per bucket — the fusion-threshold
+    /// trade-off this model exists to explore.
+    pub fn overlapped_allreduce_exposed_seconds(
+        &self,
+        workers: usize,
+        bucket_bytes: &[f64],
+        backward_seconds: f64,
+    ) -> f64 {
+        assert!(workers > 0, "worker count must be positive");
+        let total: f64 = bucket_bytes.iter().sum();
+        if workers == 1 || total <= 0.0 {
+            return 0.0;
+        }
+        let mut cum = 0.0;
+        let ready: Vec<f64> = bucket_bytes
+            .iter()
+            .map(|&b| {
+                cum += b;
+                backward_seconds * cum / total
+            })
+            .collect();
+        let comm: Vec<f64> = bucket_bytes
+            .iter()
+            .map(|&b| self.allreduce_seconds(workers, b))
+            .collect();
+        overlap_exposed_seconds(&comm, &ready)
+    }
+
     /// Seconds for the pure tree-broadcast transfer of `bytes` across
     /// `workers` ranks (excluding negotiation).
     pub fn broadcast_transfer_seconds(&self, workers: usize, bytes: f64) -> f64 {
@@ -160,6 +202,28 @@ impl CommModel {
         let negotiation = calib::broadcast_skew_fraction(method) * load_seconds;
         negotiation + self.broadcast_transfer_seconds(workers, model_bytes)
     }
+}
+
+/// Core pipeline recurrence of the overlap mode, usable directly with
+/// *measured* per-bucket communication seconds (how `table_overlap`
+/// calibrates the model against a real run): a single comm lane serves
+/// buckets in readiness order, each starting when both the lane and the
+/// bucket's gradients are available. Returns the communication time left
+/// sticking out past the end of backward (`ready_s.last()`).
+///
+/// `ready_s` must be non-decreasing (readiness order).
+pub fn overlap_exposed_seconds(bucket_comm_s: &[f64], ready_s: &[f64]) -> f64 {
+    assert_eq!(
+        bucket_comm_s.len(),
+        ready_s.len(),
+        "one readiness time per bucket"
+    );
+    let mut done = 0.0f64;
+    for (&c, &r) in bucket_comm_s.iter().zip(ready_s) {
+        done = done.max(r) + c;
+    }
+    let backward_end = ready_s.last().copied().unwrap_or(0.0);
+    (done - backward_end).max(0.0)
 }
 
 #[cfg(test)]
@@ -286,6 +350,60 @@ mod tests {
         // Pure NVLink: well under a flat ring over the fabric.
         assert!(t < m.allreduce_seconds(6, 128e6));
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn overlap_recurrence_edges() {
+        // No backward to hide under: everything is exposed.
+        let c = [0.2, 0.3, 0.1];
+        assert!((overlap_exposed_seconds(&c, &[0.0; 3]) - 0.6).abs() < 1e-12);
+        // Backward far longer than comm: only the last bucket's comm
+        // sticks out (it cannot start before backward ends).
+        let exposed = overlap_exposed_seconds(&c, &[10.0, 20.0, 30.0]);
+        assert!((exposed - 0.1).abs() < 1e-12);
+        // Empty plan is free.
+        assert_eq!(overlap_exposed_seconds(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_overlap_degenerates_to_blocking() {
+        let m = CommModel::new(Machine::Summit);
+        let bytes = calib::model_bytes(Bench::Nt3);
+        let exposed = m.overlapped_allreduce_exposed_seconds(384, &[bytes], 0.18);
+        let blocking = m.allreduce_seconds(384, bytes);
+        assert!((exposed - blocking).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketing_hides_communication_under_backward() {
+        // Bandwidth-dominated regime (few workers, fat gradient): splitting
+        // into buckets hides most of the transfer under backward.
+        let m = CommModel::new(Machine::Summit);
+        let bytes = 1.0e9;
+        let blocking = m.allreduce_seconds(4, bytes);
+        let backward = blocking;
+        let buckets = vec![bytes / 4.0; 4];
+        let exposed = m.overlapped_allreduce_exposed_seconds(4, &buckets, backward);
+        assert!(
+            exposed < blocking,
+            "exposed {exposed:.4}s must beat blocking {blocking:.4}s"
+        );
+        // More backward to hide under -> less exposed.
+        let exposed_long = m.overlapped_allreduce_exposed_seconds(4, &buckets, backward * 4.0);
+        assert!(exposed_long <= exposed);
+        // Never better than the last bucket's own comm time (it cannot
+        // start before backward ends).
+        assert!(exposed_long >= m.allreduce_seconds(4, bytes / 4.0) - 1e-12);
+        // Single worker is free.
+        assert_eq!(m.overlapped_allreduce_exposed_seconds(1, &buckets, 1.0), 0.0);
+        // The trade-off the fusion threshold exists for: at large scale the
+        // per-bucket λ·N^0.6 coordination term dominates, and many small
+        // buckets cost more than one blocking fused call.
+        let nt3 = calib::model_bytes(Bench::Nt3);
+        let fine = vec![nt3 / 8.0; 8];
+        let blocking_384 = m.allreduce_seconds(384, nt3);
+        let exposed_384 = m.overlapped_allreduce_exposed_seconds(384, &fine, blocking_384);
+        assert!(exposed_384 > blocking_384);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod machine;
 pub mod power;
 pub mod run;
 
-pub use comm::{CommModel, NcclVersion};
+pub use comm::{overlap_exposed_seconds, CommModel, NcclVersion};
 pub use io::{contention_factor, fleet_load_seconds, load_seconds, DataPlane, LoadMethod};
 pub use machine::{Machine, MachineSpec, PowerState};
 pub use power::{build_power_trace, fleet_power, FleetPowerSummary, PowerPhase, PowerSummary};

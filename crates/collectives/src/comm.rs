@@ -260,9 +260,17 @@ impl Communicator {
             .filter(|(_, &a)| a)
             .map(|(s, _)| s.clone())
             .collect();
-        // Quiescence means nothing useful is buffered; drop anything a
-        // dying rank managed to leave behind.
-        self.pending.clear();
+        // Quiescence only covers collectives *started* before the shrink:
+        // a faster survivor may already have shrunk and raced into
+        // post-shrink collectives while this rank was still draining the
+        // vote, and `recv` buffers such early arrivals here. They carry a
+        // future op id and the sender's renumbered rank, so they must
+        // survive. Anything at or below the current op id is pre-shrink
+        // residue a dying rank managed to leave behind — drop it. (Op
+        // counters are aligned across ranks by the SPMD contract, so the
+        // boundary is exact.)
+        let current_op = self.op_counter;
+        self.pending.retain(|m| (m.tag >> 16) > current_op);
         Some(Communicator {
             rank: new_rank,
             size: survivors,
@@ -621,6 +629,59 @@ mod tests {
             assert_eq!(bcast, vec![7.0, 8.0]);
             assert_eq!(gathered, vec![0.0, 1.0]);
         }
+    }
+
+    /// The shrink race: a fast survivor completes the liveness vote,
+    /// shrinks, and races into its first post-shrink collective while a
+    /// slow survivor is still draining vote messages — which buffers the
+    /// early arrival into `pending`. The slow survivor's own `shrink`
+    /// must preserve it (it carries a future op id and the sender's new
+    /// rank); clearing it would strand the slow rank waiting the full
+    /// peer timeout for a message that was already delivered. Scripted
+    /// deterministically, single-threaded, via the raw send/recv layer.
+    #[test]
+    fn shrink_preserves_early_post_shrink_messages() {
+        let mut world = Communicator::world_with_timeout(3, Duration::from_millis(200));
+        let mut c2 = world.pop().unwrap(); // slow survivor
+        let mut c1 = world.pop().unwrap(); // victim
+        let mut c0 = world.pop().unwrap(); // fast survivor
+        let alive = [true, false, true];
+
+        // Vote "allgather", one op, scripted so the victim's vote reaches
+        // the slow survivor LAST.
+        c0.next_op();
+        c1.next_op();
+        c2.next_op();
+        c1.send(0, 0, vec![0.0]).unwrap(); // victim's vote to fast survivor
+        c2.send(0, 0, vec![1.0]).unwrap();
+        c0.send(1, 0, vec![1.0]).unwrap();
+        c0.send(2, 0, vec![1.0]).unwrap();
+        c0.recv(1, 0).unwrap();
+        c0.recv(2, 0).unwrap();
+
+        // The fast survivor completes the vote, shrinks, and immediately
+        // starts a post-shrink collective: its segment lands in the slow
+        // survivor's mailbox *before* the victim's vote does.
+        let mut fast = c0.shrink(&alive).unwrap();
+        assert_eq!(fast.rank(), 0);
+        fast.next_op();
+        fast.send(1, 0, vec![42.0]).unwrap();
+        c1.send(2, 0, vec![0.0]).unwrap(); // victim's vote, late
+        drop(c1); // the victim is gone
+
+        // Draining the vote forces the slow survivor to buffer the
+        // post-shrink segment into `pending` (it matches neither source).
+        c2.recv(0, 0).unwrap();
+        assert_eq!(c2.recv(1, 0).unwrap(), vec![0.0]);
+
+        // Shrink must carry the buffered future-op message across.
+        let mut slow = c2.shrink(&alive).unwrap();
+        assert_eq!(slow.rank(), 1);
+        slow.next_op();
+        assert_eq!(
+            slow.recv(0, 0).expect("early post-shrink message was lost"),
+            vec![42.0]
+        );
     }
 
     #[test]

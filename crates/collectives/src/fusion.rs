@@ -56,6 +56,83 @@ impl FusionPlan {
         }
     }
 
+    /// Like [`FusionPlan::plan`], but additionally **splits** tensors
+    /// larger than the threshold into threshold-sized chunks, each its own
+    /// group (Horovod's cycle splitting of huge layers). Tensors at or
+    /// below the threshold coalesce exactly as in `plan`; a split tensor's
+    /// index appears in every group it spans.
+    ///
+    /// # Panics
+    /// Panics if `threshold_bytes == 0`.
+    pub fn plan_split(tensor_elements: &[usize], threshold_bytes: usize) -> Self {
+        assert!(threshold_bytes > 0, "fusion threshold must be positive");
+        let threshold_elems = (threshold_bytes / std::mem::size_of::<f32>()).max(1);
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_elements = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_elems = 0usize;
+        for (idx, &n) in tensor_elements.iter().enumerate() {
+            if n > threshold_elems {
+                if !current.is_empty() {
+                    groups.push(std::mem::take(&mut current));
+                    group_elements.push(std::mem::take(&mut current_elems));
+                }
+                let mut rem = n;
+                while rem > 0 {
+                    let take = rem.min(threshold_elems);
+                    groups.push(vec![idx]);
+                    group_elements.push(take);
+                    rem -= take;
+                }
+                continue;
+            }
+            if !current.is_empty() && current_elems + n > threshold_elems {
+                groups.push(std::mem::take(&mut current));
+                group_elements.push(std::mem::take(&mut current_elems));
+            }
+            current.push(idx);
+            current_elems += n;
+        }
+        if !current.is_empty() {
+            groups.push(current);
+            group_elements.push(current_elems);
+        }
+        Self {
+            groups,
+            group_elements,
+        }
+    }
+
+    /// Derives a bucket plan from a model's actual per-layer gradient
+    /// sizes, in **readiness order** (reverse layer order — the order
+    /// regions stream out of backprop). Zero-parameter layers are skipped;
+    /// layers above the threshold are split via [`FusionPlan::plan_split`].
+    /// Group indices refer to positions in the reversed, nonzero-filtered
+    /// layer list.
+    ///
+    /// The resulting buckets tile the flat gradient layout from the top
+    /// down: bucket 0 covers the highest flat offsets. [`FusionPlan::
+    /// reversed`] converts to ascending flat order with identical
+    /// boundaries, which is what makes the blocking comparator reduce the
+    /// exact same element ranges (ring-allreduce summation order depends
+    /// on segment boundaries, so identical boundaries are a precondition
+    /// for bit-identical results).
+    pub fn for_model(model: &dlframe::Sequential, threshold_bytes: usize) -> Self {
+        let mut sizes = model.layer_param_counts();
+        sizes.reverse();
+        sizes.retain(|&n| n > 0);
+        Self::plan_split(&sizes, threshold_bytes)
+    }
+
+    /// The same bucket boundaries traversed in the opposite order (see
+    /// [`FusionPlan::for_model`]).
+    pub fn reversed(&self) -> Self {
+        Self {
+            groups: self.groups.iter().rev().cloned().collect(),
+            group_elements: self.group_elements.iter().rev().copied().collect(),
+        }
+    }
+
     /// A degenerate plan with one tensor per group (fusion disabled), for
     /// the ablation benchmark.
     pub fn unfused(tensor_elements: &[usize]) -> Self {
@@ -137,6 +214,69 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn zero_threshold_panics() {
         FusionPlan::plan(&[1], 0);
+    }
+
+    #[test]
+    fn plan_split_chunks_oversized_tensors() {
+        // Threshold 16 bytes = 4 floats. Small tensors coalesce like
+        // `plan`; the 10-float tensor becomes chunks of 4+4+2.
+        let plan = FusionPlan::plan_split(&[2, 1, 10, 3], 16);
+        assert_eq!(plan.group_elements(), &[3, 4, 4, 2, 3]);
+        assert_eq!(
+            plan.groups(),
+            &[vec![0, 1], vec![2], vec![2], vec![2], vec![3]]
+        );
+        assert_eq!(plan.total_elements(), 16);
+    }
+
+    #[test]
+    fn plan_split_matches_plan_when_nothing_oversized() {
+        let sizes = [3, 3, 2, 4, 1];
+        assert_eq!(
+            FusionPlan::plan_split(&sizes, 16),
+            FusionPlan::plan(&sizes, 16)
+        );
+    }
+
+    #[test]
+    fn for_model_reflects_uneven_layer_geometry() {
+        use dlframe::{Activation, Dense, Dropout, Sequential};
+        let mut rng = xrng::seeded(3);
+        let mut m = Sequential::new(3);
+        // 550 + 204 params with a zero-parameter layer in between.
+        m.add(Box::new(Dense::new(10, 50, Activation::Relu, &mut rng)));
+        m.add(Box::new(Dropout::new(0.1, xrng::seeded(4))));
+        m.add(Box::new(Dense::new(50, 4, Activation::Linear, &mut rng)));
+        // Readiness order is [204, 550]; 256-element threshold splits the
+        // big layer into 256+256+38.
+        let plan = FusionPlan::for_model(&m, 1024);
+        assert_eq!(plan.group_elements(), &[204, 256, 256, 38]);
+        assert_eq!(plan.total_elements(), m.param_count());
+        // Reversing preserves the boundaries, in ascending flat order.
+        let rev = plan.reversed();
+        assert_eq!(rev.group_elements(), &[38, 256, 256, 204]);
+        assert_eq!(rev.reversed(), plan);
+        // One fat threshold fuses everything into a single bucket.
+        let fused = FusionPlan::for_model(&m, DEFAULT_FUSION_THRESHOLD_BYTES);
+        assert_eq!(fused.group_elements(), &[754]);
+    }
+
+    proptest! {
+        #[test]
+        fn plan_split_covers_all_elements(
+            sizes in proptest::collection::vec(0usize..10_000, 0..50),
+            threshold in 1usize..100_000
+        ) {
+            let plan = FusionPlan::plan_split(&sizes, threshold);
+            prop_assert_eq!(plan.total_elements(), sizes.iter().sum::<usize>());
+            let threshold_elems = (threshold / 4).max(1);
+            for &g in plan.group_elements() {
+                prop_assert!(g <= threshold_elems);
+            }
+            // Member indices are non-decreasing across the group list.
+            let flattened: Vec<usize> = plan.groups().iter().flatten().copied().collect();
+            prop_assert!(flattened.windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 
     proptest! {

@@ -17,6 +17,10 @@
 //! * [`DistributedOptimizer`] — implements `dlframe::GradientSync` by
 //!   averaging gradients across all ranks after every batch step, exactly
 //!   where Horovod splices its allreduce;
+//! * [`AsyncBucketedOptimizer`] — the overlapped variant: per-bucket ring
+//!   allreduce on a dedicated comm worker while backward is still
+//!   computing, Horovod's layer-by-layer fused allreduce (see
+//!   `overlap` module docs for the bit-identity contract);
 //! * [`Timeline`] — an event recorder that writes Chrome-trace JSON, the
 //!   same format as the Horovod timeline shown in the paper's Figures 7,
 //!   12, and 19.
@@ -29,6 +33,7 @@ mod comm;
 mod fusion;
 mod hierarchical;
 mod optimizer;
+mod overlap;
 mod ring;
 mod timeline;
 mod world;
@@ -37,6 +42,7 @@ pub use comm::{CommStats, Communicator, DEFAULT_PEER_TIMEOUT};
 pub use fusion::{FusionPlan, DEFAULT_FUSION_THRESHOLD_BYTES};
 pub use hierarchical::hierarchical_allreduce;
 pub use optimizer::DistributedOptimizer;
+pub use overlap::{AsyncBucketedOptimizer, OverlapStats};
 pub use ring::{naive_allreduce, ring_allreduce};
 pub use timeline::{Timeline, TimelineEvent};
 pub use world::{broadcast_parameters, run_workers, run_workers_owned};

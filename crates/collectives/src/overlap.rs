@@ -1,0 +1,564 @@
+//! Async bucketed allreduce — hiding gradient communication under
+//! backward compute.
+//!
+//! The blocking [`crate::DistributedOptimizer`] averages the whole flat
+//! gradient *after* backprop finishes, so communication is pure added
+//! wall-clock — the scalability killer Shi et al. identify and the thing
+//! Horovod fixes with layer-by-layer fused allreduce. This module is that
+//! fix: [`AsyncBucketedOptimizer`] implements the streaming
+//! [`dlframe::GradientSync`] protocol (`begin_step` / `region_ready` /
+//! `finish_step`). As each layer's backward pass completes, its gradient
+//! region is copied into the current bucket (geometry from a
+//! [`FusionPlan`] in readiness order); full buckets are enqueued onto a
+//! dedicated comm worker — a one-thread [`parx::WorkerPool`] owning the
+//! rank's [`Communicator`] — which runs `allreduce_mean` per bucket while
+//! earlier layers are still computing. `finish_step` is the deterministic
+//! completion barrier: it waits for every in-flight bucket and writes the
+//! averaged values back, so the optimizer step sees exactly the same
+//! numbers as a blocking reduction over the same bucket boundaries.
+//!
+//! **Bit-identity contract.** Ring allreduce's per-element summation order
+//! depends on segment boundaries, so "same boundaries" is a precondition
+//! for bit-identical weights. [`FusionPlan::for_model`] buckets tile the
+//! flat layout top-down (readiness order); the blocking comparator must
+//! use [`FusionPlan::reversed`] of the same plan. With the default 64 MB
+//! threshold a small model gets one bucket, which matches the unfused
+//! blocking path as well.
+//!
+//! **Failure semantics.** If a peer dies mid-epoch, the comm worker's
+//! allreduce returns a typed [`CommError`] within the communicator's
+//! peer timeout; the worker then drains every remaining queued bucket
+//! with the same error (never hangs), and `finish_step` panics with the
+//! typed message after receiving all in-flight results — mirroring the
+//! blocking optimizer's behaviour. [`AsyncBucketedOptimizer::shutdown`]
+//! returns the quiesced `Communicator`, so a survivor can
+//! [`Communicator::shrink`] and rebuild an optimizer on the smaller
+//! world at an epoch boundary.
+
+use crate::comm::Communicator;
+use crate::fusion::FusionPlan;
+use crate::timeline::Timeline;
+use crate::CommError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Extra slack on top of the communicator's peer timeout before the
+/// completion barrier declares the comm worker lost.
+const BARRIER_MARGIN: Duration = Duration::from_secs(5);
+
+enum Job {
+    Bucket { idx: usize, data: Vec<f32> },
+}
+
+struct WorkerReport {
+    comm: Communicator,
+    comm_busy: Duration,
+}
+
+/// Aggregate counters of one overlapped training run (per rank).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapStats {
+    /// Total wall-clock the comm worker spent inside allreduce calls.
+    pub comm_busy: Duration,
+    /// Total wall-clock `finish_step` spent blocked on in-flight buckets —
+    /// the communication that backward compute failed to hide.
+    pub exposed: Duration,
+    /// Buckets dispatched.
+    pub buckets: u64,
+    /// Batch steps completed.
+    pub steps: u64,
+    /// Gradient elements communicated.
+    pub elements: u64,
+}
+
+impl OverlapStats {
+    /// Fraction of communication time left exposed (not hidden under
+    /// backward compute), in `[0, 1]`. 0 when no communication happened.
+    pub fn exposed_fraction(&self) -> f64 {
+        let busy = self.comm_busy.as_secs_f64();
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        (self.exposed.as_secs_f64() / busy).min(1.0)
+    }
+}
+
+/// [`dlframe::GradientSync`] implementation that overlaps per-bucket ring
+/// allreduce with backward compute. See the module docs for the protocol
+/// and the bit-identity contract.
+pub struct AsyncBucketedOptimizer {
+    /// Bucket element counts in readiness (reverse-layer) order.
+    elems: Vec<usize>,
+    /// Flat low offset of each bucket (buckets tile the layout top-down).
+    lo: Vec<usize>,
+    total: usize,
+    // `job_tx` must drop before `pool`: closing the job channel is what
+    // lets the long-running comm task (and therefore the pool's Drop
+    // join) finish.
+    job_tx: Option<Sender<Job>>,
+    pool: parx::WorkerPool,
+    res_rx: Receiver<(usize, Result<Vec<f32>, CommError>)>,
+    report_rx: Receiver<WorkerReport>,
+    /// Recycled bucket staging buffers (no steady-state allocation).
+    spare: Vec<Vec<f32>>,
+    // Per-step fill state.
+    cur: usize,
+    filled: usize,
+    cursor: usize,
+    buf: Vec<f32>,
+    in_flight: usize,
+    region_seq: usize,
+    last_mark: Instant,
+    /// Region sequence number whose `region_ready` completed each bucket
+    /// (identical every step; the producing layer span of bucket `b` is
+    /// `backward_layer_{producers[b]}`).
+    producers: Vec<usize>,
+    timeline: Option<(Timeline, Instant)>,
+    shared_timeline: Arc<Mutex<Option<(Timeline, Instant)>>>,
+    rank: usize,
+    size: usize,
+    peer_timeout: Duration,
+    exposed: Duration,
+    buckets_sent: u64,
+    steps: u64,
+    elements: u64,
+}
+
+impl AsyncBucketedOptimizer {
+    /// Wraps a communicator endpoint with bucket geometry from `plan`
+    /// (readiness order, e.g. [`FusionPlan::for_model`]), spawning the
+    /// dedicated comm worker immediately.
+    pub fn new(comm: Communicator, plan: &FusionPlan) -> Self {
+        let elems: Vec<usize> = plan.group_elements().to_vec();
+        let total: usize = elems.iter().sum();
+        let mut lo = Vec::with_capacity(elems.len());
+        let mut hi = total;
+        for &n in &elems {
+            lo.push(hi - n);
+            hi -= n;
+        }
+        let rank = comm.rank();
+        let size = comm.size();
+        let peer_timeout = comm.peer_timeout();
+        let shared_timeline: Arc<Mutex<Option<(Timeline, Instant)>>> = Arc::default();
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (res_tx, res_rx) = unbounded();
+        let (report_tx, report_rx) = unbounded();
+        let pool = parx::WorkerPool::new(1);
+        {
+            let timeline = Arc::clone(&shared_timeline);
+            pool.submit(move || {
+                comm_worker_loop(comm, job_rx, res_tx, report_tx, timeline);
+            });
+        }
+        let producers = vec![0; elems.len()];
+        Self {
+            elems,
+            lo,
+            total,
+            job_tx: Some(job_tx),
+            pool,
+            res_rx,
+            report_rx,
+            spare: Vec::new(),
+            cur: 0,
+            filled: 0,
+            cursor: 0,
+            buf: Vec::new(),
+            in_flight: 0,
+            region_seq: 0,
+            last_mark: Instant::now(),
+            producers,
+            timeline: None,
+            shared_timeline,
+            rank,
+            size,
+            peer_timeout,
+            exposed: Duration::ZERO,
+            buckets_sent: 0,
+            steps: 0,
+            elements: 0,
+        }
+    }
+
+    /// Enables timeline recording; `origin` anchors timestamps so all
+    /// ranks share a time base. The main thread records
+    /// `backward_layer_{seq}` spans (one per streamed region); the comm
+    /// worker records `bucket_allreduce_{idx}` spans.
+    pub fn with_timeline(mut self, timeline: Timeline, origin: Instant) -> Self {
+        *self.shared_timeline.lock() = Some((timeline.clone(), origin));
+        self.timeline = Some((timeline, origin));
+        self
+    }
+
+    /// This rank's id in the world the optimizer was built over.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size the optimizer was built over.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of buckets per step.
+    pub fn bucket_count(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Flat `(lo, hi)` element range of each bucket, in readiness order.
+    pub fn bucket_ranges(&self) -> Vec<(usize, usize)> {
+        self.lo
+            .iter()
+            .zip(&self.elems)
+            .map(|(&lo, &n)| (lo, lo + n))
+            .collect()
+    }
+
+    /// For each bucket, the region sequence number whose arrival completed
+    /// (and dispatched) it — meaningful after at least one step.
+    pub fn bucket_producers(&self) -> &[usize] {
+        &self.producers
+    }
+
+    /// Quiesces the comm worker and returns the communicator plus the
+    /// run's [`OverlapStats`]. Must not be called with a step open.
+    pub fn shutdown(mut self) -> (Communicator, OverlapStats) {
+        self.job_tx.take();
+        self.pool.join();
+        let report = self
+            .report_rx
+            .recv()
+            .expect("comm worker must report on shutdown");
+        let stats = OverlapStats {
+            comm_busy: report.comm_busy,
+            exposed: self.exposed,
+            buckets: self.buckets_sent,
+            steps: self.steps,
+            elements: self.elements,
+        };
+        (report.comm, stats)
+    }
+
+    /// A recycled buffer with room for `n` elements (or a fresh one).
+    fn take_spare(&mut self, n: usize) -> Vec<f32> {
+        let pos = self.spare.iter().position(|b| b.capacity() >= n);
+        let mut buf = match pos {
+            Some(i) => self.spare.swap_remove(i),
+            None => self.spare.pop().unwrap_or_default(),
+        };
+        buf.resize(n, 0.0);
+        buf
+    }
+
+    fn dispatch(&mut self, idx: usize, data: Vec<f32>) {
+        self.producers[idx] = self.region_seq;
+        self.buckets_sent += 1;
+        self.elements += data.len() as u64;
+        self.in_flight += 1;
+        let tx = self.job_tx.as_ref().expect("optimizer already shut down");
+        tx.send(Job::Bucket { idx, data })
+            .expect("comm worker exited early");
+    }
+}
+
+/// The long-running task owning this rank's communicator: one bucket
+/// allreduce per job, FIFO. After the first failure every remaining job
+/// (queued now or later) is answered with the same typed error instead of
+/// attempting a collective that would block on a dead peer — in-flight
+/// work drains, it never hangs.
+fn comm_worker_loop(
+    mut comm: Communicator,
+    job_rx: Receiver<Job>,
+    res_tx: Sender<(usize, Result<Vec<f32>, CommError>)>,
+    report_tx: Sender<WorkerReport>,
+    timeline: Arc<Mutex<Option<(Timeline, Instant)>>>,
+) {
+    let mut busy = Duration::ZERO;
+    let mut failed: Option<CommError> = None;
+    while let Ok(Job::Bucket { idx, mut data }) = job_rx.recv() {
+        let result = match &failed {
+            Some(e) => Err(e.clone()),
+            None => {
+                let t0 = Instant::now();
+                let r = comm.allreduce_mean(&mut data);
+                let dur = t0.elapsed();
+                busy += dur;
+                if let Some((tl, origin)) = timeline.lock().as_ref() {
+                    tl.record(
+                        format!("bucket_allreduce_{idx}"),
+                        comm.rank(),
+                        t0.duration_since(*origin).as_micros() as u64,
+                        (dur.as_micros() as u64).max(1),
+                    );
+                }
+                r
+            }
+        };
+        let msg = match result {
+            Ok(()) => (idx, Ok(data)),
+            Err(e) => {
+                failed = Some(e.clone());
+                (idx, Err(e))
+            }
+        };
+        if res_tx.send(msg).is_err() {
+            break;
+        }
+    }
+    let _ = report_tx.send(WorkerReport {
+        comm,
+        comm_busy: busy,
+    });
+}
+
+impl dlframe::GradientSync for AsyncBucketedOptimizer {
+    /// Blocking fallback: runs the whole flat gradient through the
+    /// streaming protocol as a single region and waits.
+    fn sync_gradients(&mut self, flat: &mut [f32]) {
+        self.begin_step(flat.len());
+        let data = flat.to_vec();
+        self.region_ready(0, &data);
+        self.finish_step(flat);
+    }
+
+    fn begin_step(&mut self, param_count: usize) -> bool {
+        assert_eq!(
+            param_count, self.total,
+            "fusion plan covers {} elements but the model has {param_count}",
+            self.total
+        );
+        assert_eq!(self.in_flight, 0, "previous step not finished");
+        self.cursor = self.total;
+        self.cur = 0;
+        self.filled = 0;
+        self.region_seq = 0;
+        self.last_mark = Instant::now();
+        if let Some(&first) = self.elems.first() {
+            self.buf = self.take_spare(first);
+        }
+        self.steps += 1;
+        true
+    }
+
+    fn region_ready(&mut self, offset: usize, grad: &[f32]) {
+        assert_eq!(
+            offset + grad.len(),
+            self.cursor,
+            "regions must stream in descending contiguous flat order"
+        );
+        if let Some((tl, origin)) = &self.timeline {
+            let now = Instant::now();
+            let start_us = self.last_mark.duration_since(*origin).as_micros() as u64;
+            let dur_us = now.duration_since(self.last_mark).as_micros() as u64;
+            tl.record(
+                format!("backward_layer_{}", self.region_seq),
+                self.rank,
+                start_us,
+                dur_us.max(1),
+            );
+            self.last_mark = now;
+        }
+        // Fill buckets from the region's tail: buckets tile the layout
+        // top-down and the current bucket always covers the highest
+        // unfilled offsets, so one region may complete several buckets.
+        let mut end = offset + grad.len();
+        while end > offset {
+            let b = self.cur;
+            let lo_b = self.lo[b];
+            let chunk_lo = lo_b.max(offset);
+            let n = end - chunk_lo;
+            self.buf[chunk_lo - lo_b..end - lo_b]
+                .copy_from_slice(&grad[chunk_lo - offset..end - offset]);
+            self.filled += n;
+            end = chunk_lo;
+            if self.filled == self.elems[b] {
+                let data = std::mem::take(&mut self.buf);
+                self.dispatch(b, data);
+                self.cur = b + 1;
+                self.filled = 0;
+                if self.cur < self.elems.len() {
+                    self.buf = self.take_spare(self.elems[self.cur]);
+                }
+            }
+        }
+        self.cursor = offset;
+        self.region_seq += 1;
+    }
+
+    fn finish_step(&mut self, flat: &mut [f32]) {
+        assert_eq!(self.cursor, 0, "streamed regions must cover the layout");
+        assert_eq!(
+            self.in_flight,
+            self.elems.len(),
+            "every bucket must have been dispatched before the barrier"
+        );
+        let wait_start = Instant::now();
+        let mut first_err: Option<CommError> = None;
+        for _ in 0..self.in_flight {
+            match self.res_rx.recv_timeout(self.peer_timeout + BARRIER_MARGIN) {
+                Ok((idx, Ok(data))) => {
+                    let lo = self.lo[idx];
+                    flat[lo..lo + data.len()].copy_from_slice(&data);
+                    self.spare.push(data);
+                }
+                Ok((_, Err(e))) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!("bucketed allreduce barrier timed out waiting for the comm worker")
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("comm worker exited mid-step")
+                }
+            }
+        }
+        self.in_flight = 0;
+        self.exposed += wait_start.elapsed();
+        if let Some(e) = first_err {
+            panic!("allreduce failed: {e} (a worker died mid-collective)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_workers;
+    use crate::DistributedOptimizer;
+    use dlframe::GradientSync;
+
+    fn comm_take(comm: &mut Communicator) -> Communicator {
+        std::mem::replace(comm, Communicator::world(1).pop().unwrap())
+    }
+
+    /// Regions that span bucket boundaries reduce to exactly the same
+    /// values as the blocking optimizer over the reversed plan.
+    #[test]
+    fn async_buckets_match_blocking_with_same_boundaries() {
+        let results = run_workers(3, |comm| {
+            let rank = comm.rank() as f32;
+            // 16-byte threshold = 4 floats: buckets [4], [2], [6] over a
+            // 12-element layout (readiness order, top-down tiling).
+            let plan = FusionPlan::plan(&[4, 2, 6], 16);
+            let mut opt = AsyncBucketedOptimizer::new(comm_take(comm), &plan);
+            assert_eq!(opt.bucket_ranges(), vec![(8, 12), (6, 8), (0, 6)]);
+            let mut flat: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 + rank).collect();
+            // "Layers" of sizes 5 and 7: regions misaligned with buckets.
+            assert!(opt.begin_step(12));
+            let tail = flat[7..12].to_vec();
+            opt.region_ready(7, &tail);
+            let head = flat[0..7].to_vec();
+            opt.region_ready(0, &head);
+            opt.finish_step(&mut flat);
+            let (comm, stats) = opt.shutdown();
+            assert_eq!(stats.buckets, 3);
+            assert_eq!(stats.steps, 1);
+            assert_eq!(stats.elements, 12);
+            assert_eq!(comm.stats().allreduce_calls, 3);
+            flat
+        });
+        let blocking = run_workers(3, |comm| {
+            let plan = FusionPlan::plan(&[4, 2, 6], 16).reversed();
+            let mut opt = DistributedOptimizer::new(comm_take(comm)).with_fusion_plan(plan);
+            let rank = opt.comm().rank() as f32;
+            let mut flat: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 + rank).collect();
+            opt.sync_gradients(&mut flat);
+            flat
+        });
+        for (a, b) in results.iter().zip(&blocking) {
+            let a_bits: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a_bits, b_bits);
+        }
+    }
+
+    /// Multiple steps recycle staging buffers and keep averaging.
+    #[test]
+    fn repeated_steps_recycle_and_average() {
+        let results = run_workers(2, |comm| {
+            let plan = FusionPlan::plan(&[3, 3], 12);
+            let mut opt = AsyncBucketedOptimizer::new(comm_take(comm), &plan);
+            let rank = opt.rank() as f32;
+            let mut last = Vec::new();
+            for step in 0..4 {
+                let mut flat: Vec<f32> = (0..6).map(|i| rank + step as f32 + i as f32).collect();
+                opt.begin_step(6);
+                let hi = flat[3..6].to_vec();
+                opt.region_ready(3, &hi);
+                let lo = flat[0..3].to_vec();
+                opt.region_ready(0, &lo);
+                opt.finish_step(&mut flat);
+                last = flat;
+            }
+            let (_, stats) = opt.shutdown();
+            assert_eq!(stats.steps, 4);
+            assert_eq!(stats.buckets, 8);
+            last
+        });
+        // Mean of ranks {0,1} adds 0.5 to every element.
+        for r in &results {
+            for (i, &x) in r.iter().enumerate() {
+                assert!((x - (0.5 + 3.0 + i as f32)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The timeline carries both backward-layer and per-bucket spans, and
+    /// the comm lane's bucket spans never overlap.
+    #[test]
+    fn timeline_records_overlap_spans() {
+        let tl = Timeline::new();
+        let origin = Instant::now();
+        let tl2 = tl.clone();
+        run_workers(2, move |comm| {
+            let plan = FusionPlan::plan(&[2, 2], 8);
+            let mut opt = AsyncBucketedOptimizer::new(comm_take(comm), &plan)
+                .with_timeline(tl2.clone(), origin);
+            let mut flat = vec![1.0f32; 4];
+            opt.begin_step(4);
+            let hi = flat[2..4].to_vec();
+            opt.region_ready(2, &hi);
+            let lo = flat[0..2].to_vec();
+            opt.region_ready(0, &lo);
+            opt.finish_step(&mut flat);
+        });
+        for rank in 0..2 {
+            let layers = tl.spans_with_prefix("backward_layer_", rank);
+            assert_eq!(layers.len(), 2);
+            let buckets = tl.spans_with_prefix("bucket_allreduce_", rank);
+            assert_eq!(buckets.len(), 2);
+            for w in buckets.windows(2) {
+                assert!(w[0].start_us + w[0].dur_us <= w[1].start_us);
+            }
+        }
+    }
+
+    /// `sync_gradients` (the blocking fallback) still averages.
+    #[test]
+    fn blocking_fallback_averages() {
+        let results = run_workers(4, |comm| {
+            let plan = FusionPlan::plan(&[6], 1024);
+            let mut opt = AsyncBucketedOptimizer::new(comm_take(comm), &plan);
+            let mut grad = vec![opt.rank() as f32; 6];
+            opt.sync_gradients(&mut grad);
+            grad
+        });
+        for r in results {
+            for x in r {
+                assert!((x - 1.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion plan covers")]
+    fn mismatched_plan_panics() {
+        let comm = Communicator::world(1).pop().unwrap();
+        let plan = FusionPlan::plan(&[4], 1024);
+        let mut opt = AsyncBucketedOptimizer::new(comm, &plan);
+        opt.begin_step(5);
+    }
+}

@@ -58,6 +58,23 @@ impl Timeline {
         v
     }
 
+    /// Snapshot of one rank's spans whose name starts with `prefix`,
+    /// sorted by start time — the query the overlap span-nesting
+    /// invariants are checked with (per-bucket allreduce spans on a rank's
+    /// comm lane must not overlap, and must start after their producing
+    /// backward-layer span).
+    pub fn spans_with_prefix(&self, prefix: &str, rank: usize) -> Vec<TimelineEvent> {
+        let mut v: Vec<TimelineEvent> = self
+            .inner
+            .lock()
+            .iter()
+            .filter(|e| e.rank == rank && e.name.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort_by_key(|e| e.start_us);
+        v
+    }
+
     /// Total duration attributed to events whose name contains `needle`.
     pub fn total_duration_us(&self, needle: &str) -> u64 {
         self.inner

@@ -194,6 +194,12 @@ impl Layer for Conv1D {
         f(&mut self.weights);
         f(&mut self.bias);
     }
+
+    fn param_count(&self) -> usize {
+        // Allocation-free override: the default goes through `params()`
+        // and would heap-allocate on the training hot path.
+        self.weights.len() + self.bias.len()
+    }
 }
 
 #[cfg(test)]

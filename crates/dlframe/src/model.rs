@@ -17,6 +17,36 @@ pub trait GradientSync {
     /// Synchronizes (e.g. averages across workers) the flat gradient in
     /// place.
     fn sync_gradients(&mut self, flat: &mut [f32]);
+
+    /// Opens one batch step. Returning `true` switches
+    /// [`Sequential::train_batch`] to the streaming protocol: each layer's
+    /// gradient region is handed over via [`GradientSync::region_ready`] as
+    /// soon as that layer's backward pass finishes (regions arrive in
+    /// descending flat-offset order, covering the layout exactly once), and
+    /// [`GradientSync::finish_step`] is the completion barrier before the
+    /// optimizer step. The default (blocking) implementation returns
+    /// `false`, in which case only [`GradientSync::sync_gradients`] fires.
+    ///
+    /// `param_count` is the full flat-gradient length, so implementations
+    /// can validate their bucket geometry eagerly.
+    fn begin_step(&mut self, param_count: usize) -> bool {
+        let _ = param_count;
+        false
+    }
+
+    /// Streams one ready gradient region (`offset` is its flat offset).
+    /// Only called between a `begin_step` that returned `true` and the
+    /// matching `finish_step`; an implementation may start communicating
+    /// this region immediately while earlier layers are still computing.
+    fn region_ready(&mut self, offset: usize, grad: &[f32]) {
+        let _ = (offset, grad);
+    }
+
+    /// Completion barrier for a streamed step: must overwrite `flat` (the
+    /// full gradient layout) with the synchronized values before returning.
+    fn finish_step(&mut self, flat: &mut [f32]) {
+        let _ = flat;
+    }
 }
 
 /// No-op sync for single-process training.
@@ -134,6 +164,14 @@ impl Sequential {
     /// Total trainable scalar parameters.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Per-layer trainable parameter counts in forward (layer) order,
+    /// including zero entries for parameterless layers. Reversed, this is
+    /// the order in which gradient regions become ready during backward —
+    /// the input for overlap-aware fusion plans.
+    pub fn layer_param_counts(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.param_count()).collect()
     }
 
     /// Immutable access to the optimizer, if compiled.
@@ -303,23 +341,53 @@ impl Sequential {
         let correct = count_argmax_matches(&pred, y);
         self.ws.recycle(pred);
         self.hot.forward += fwd_start.elapsed();
-        // Backward through the stack, recycling each upstream gradient.
+        // Backward through the stack, recycling each upstream gradient. In
+        // overlapped mode each layer's gradient region is streamed to the
+        // sync hook the moment that layer's backward finishes (descending
+        // flat offsets), so communication proceeds under the remaining
+        // layers' compute.
         let bwd_start = Instant::now();
+        let total = self.param_count();
+        let overlap = sync.begin_step(total);
+        if overlap {
+            self.flat_buf.resize(total, 0.0);
+        }
+        let mut end = total;
         let mut g = grad;
         for layer in self.layers.iter_mut().rev() {
             let gi = layer.backward_ws(&g, &mut self.ws)?;
             self.ws.recycle(std::mem::replace(&mut g, gi));
+            if overlap {
+                let n = layer.param_count();
+                if n == 0 {
+                    continue;
+                }
+                let start = end - n;
+                let mut off = start;
+                let flat = &mut self.flat_buf;
+                layer.for_each_grad(&mut |gt| {
+                    flat[off..off + gt.len()].copy_from_slice(gt.data());
+                    off += gt.len();
+                });
+                sync.region_ready(start, &self.flat_buf[start..end]);
+                end = start;
+            }
         }
         self.ws.recycle(g);
         self.hot.backward += bwd_start.elapsed();
         // Gradient synchronization on the flat layout, then scatter back so
         // external observers of `grads()` see the synchronized values.
         let opt_start = Instant::now();
-        self.flat_buf.clear();
-        for layer in &self.layers {
-            layer.for_each_grad(&mut |gt| self.flat_buf.extend_from_slice(gt.data()));
+        if overlap {
+            debug_assert_eq!(end, 0, "streamed regions must cover the layout");
+            sync.finish_step(&mut self.flat_buf);
+        } else {
+            self.flat_buf.clear();
+            for layer in &self.layers {
+                layer.for_each_grad(&mut |gt| self.flat_buf.extend_from_slice(gt.data()));
+            }
+            sync.sync_gradients(&mut self.flat_buf);
         }
-        sync.sync_gradients(&mut self.flat_buf);
         let mut offset = 0;
         for layer in &mut self.layers {
             layer.for_each_grad_mut(&mut |gt| {
@@ -659,6 +727,76 @@ mod tests {
             before,
             "zeroed grads must not move params"
         );
+    }
+
+    #[test]
+    fn overlapped_sync_streams_descending_contiguous_regions() {
+        struct StreamProbe {
+            total: usize,
+            cursor: usize,
+            regions: Vec<(usize, usize)>,
+            finishes: usize,
+        }
+        impl GradientSync for StreamProbe {
+            fn sync_gradients(&mut self, _flat: &mut [f32]) {
+                panic!("blocking hook must not fire in overlapped mode");
+            }
+            fn begin_step(&mut self, param_count: usize) -> bool {
+                self.total = param_count;
+                self.cursor = param_count;
+                true
+            }
+            fn region_ready(&mut self, offset: usize, grad: &[f32]) {
+                assert_eq!(
+                    offset + grad.len(),
+                    self.cursor,
+                    "regions must arrive in descending contiguous order"
+                );
+                assert!(!grad.is_empty());
+                self.cursor = offset;
+                self.regions.push((offset, grad.len()));
+            }
+            fn finish_step(&mut self, flat: &mut [f32]) {
+                assert_eq!(self.cursor, 0, "regions must cover the full layout");
+                assert_eq!(flat.len(), self.total);
+                self.finishes += 1;
+                // Zeroing the synchronized gradient must freeze the
+                // parameters, proving finish_step's output is what the
+                // optimizer consumes.
+                for g in flat.iter_mut() {
+                    *g = 0.0;
+                }
+            }
+        }
+        let data = toy_classification(40, 8);
+        let mut model = mlp(9);
+        // Dropout contributes a zero-parameter layer mid-stack, so the
+        // region stream must skip it without breaking contiguity.
+        model.add(Box::new(crate::Dropout::new(0.1, xrng::seeded(10))));
+        let before = model.flat_params();
+        let mut probe = StreamProbe {
+            total: 0,
+            cursor: 0,
+            regions: Vec::new(),
+            finishes: 0,
+        };
+        let config = FitConfig {
+            epochs: 1,
+            batch_size: 10,
+            shuffle: false,
+            compute_accuracy: false,
+            ..Default::default()
+        };
+        model.fit(&data, &config, &mut probe).unwrap();
+        assert_eq!(probe.finishes, 4);
+        // Two Dense layers with parameters -> two regions per step.
+        assert_eq!(probe.regions.len(), 8);
+        let counts = model.layer_param_counts();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[2], 0, "dropout has no parameters");
+        assert_eq!(probe.regions[0], (counts[0], counts[1]));
+        assert_eq!(probe.regions[1], (0, counts[0]));
+        assert_eq!(model.flat_params(), before);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn fig10(quick: bool) -> Experiment {
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
                 data_service: None,
+                comm_overlap: None,
             };
             if let Ok(out) = candle::run_parallel(&spec) {
                 // R²-style accuracy: 1 − MSE / Var(target).
@@ -161,6 +162,7 @@ mod tests {
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
                 data_service: None,
+                comm_overlap: None,
             };
             let out = candle::run_parallel(&spec).unwrap();
             1.0 - out.test_loss / out.test_target_variance

@@ -61,6 +61,7 @@ pub fn accuracy_sweep(
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
                 data_service: None,
+                comm_overlap: None,
             };
             candle::run_parallel(&spec).ok().map(|out| AccuracyPoint {
                 workers: w,

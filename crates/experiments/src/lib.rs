@@ -28,6 +28,7 @@ mod functional;
 mod hpo_table;
 mod ingest_table;
 mod kernels_table;
+mod overlap_table;
 mod report;
 mod resil_table;
 mod serve_table;
@@ -49,6 +50,7 @@ pub use functional::{accuracy_sweep, AccuracyPoint};
 pub use hpo_table::{measure_hpo, table_hpo, HpoMeasurement};
 pub use ingest_table::{measure_ingest_comparison, table_ingest, IngestComparison};
 pub use kernels_table::{measure_kernel_comparison, table_kernels, KernelComparison};
+pub use overlap_table::{measure_overlap_comparison, table_overlap, OverlapComparison};
 pub use report::{format_table, Experiment};
 pub use resil_table::table_resil;
 pub use serve_table::{measure_serving_sweep, table_serve, ServingRow};
@@ -94,6 +96,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         table_datapipe(quick),
         table_hpo(quick),
         table_fleet(quick),
+        table_overlap(quick),
     ]
 }
 
@@ -102,7 +105,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 30);
+        assert_eq!(experiments.len(), 31);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -119,5 +122,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table_datapipe"));
         assert!(experiments.iter().any(|e| e.id == "table_hpo"));
         assert!(experiments.iter().any(|e| e.id == "table_fleet"));
+        assert!(experiments.iter().any(|e| e.id == "table_overlap"));
     }
 }

@@ -330,6 +330,7 @@ pub fn table6(quick: bool) -> Experiment {
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
                 data_service: None,
+                comm_overlap: None,
             };
             let out = candle::run_parallel(&spec).expect("weak run");
             (w, out.train_accuracy.unwrap_or(0.0))

@@ -123,6 +123,7 @@ pub fn run_elastic(spec: &ElasticSpec) -> Result<ElasticOutcome, ResilError> {
         data_mode: DataMode::FullReplicated,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     };
     let (train, _) = benchmark_dataset(&spec.data, spec.seed);
     let train = Arc::new(train);

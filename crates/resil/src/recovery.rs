@@ -92,6 +92,7 @@ impl ResilSpec {
             data_mode: DataMode::FullReplicated,
             cache: None,
             data_service: None,
+            comm_overlap: None,
         }
     }
 }

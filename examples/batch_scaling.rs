@@ -72,6 +72,7 @@ fn main() {
                 data_mode: candle::pipeline::DataMode::FullReplicated,
                 cache: None,
                 data_service: None,
+                comm_overlap: None,
             };
             match candle::run_parallel(&spec) {
                 Ok(out) => println!(

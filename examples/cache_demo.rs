@@ -110,6 +110,7 @@ fn main() {
             source: CacheSource::Generate,
         }),
         data_service: None,
+        comm_overlap: None,
     };
     let cold_run = run_parallel(&run_spec).expect("cold pipeline run");
     let warm_run = run_parallel(&run_spec).expect("warm pipeline run");

@@ -28,6 +28,7 @@ fn main() {
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     };
     println!("training NT3 on {workers} simulated workers (ring allreduce, lr x{workers})...");
     let out = candle::run_parallel(&spec).expect("training run");

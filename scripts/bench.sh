@@ -7,6 +7,7 @@
 #   BENCH_DATAPIPE.json — 32-job shared dataset service vs independent caches
 #   BENCH_HPO.json      — deterministic ASHA search (fingerprints, budget, oracle)
 #   BENCH_FLEET.json    — autoscaled vs fixed serving fleets (SLO, joules/request)
+#   BENCH_OVERLAP.json  — blocking vs overlapped gradient allreduce (exposed frac)
 #
 # Usage: scripts/bench.sh [quick|full]
 #   quick (default) — shrunken shapes, finishes in a couple of minutes
@@ -52,6 +53,13 @@ if [ "$MODE" = "quick" ]; then
     cargo run --release --offline -p candle-bench --bin bench_fleet_json -- --quick --out BENCH_FLEET.json
 else
     cargo run --release --offline -p candle-bench --bin bench_fleet_json -- --out BENCH_FLEET.json
+fi
+
+echo "==> blocking-vs-overlapped allreduce comparison -> BENCH_OVERLAP.json (${MODE})"
+if [ "$MODE" = "quick" ]; then
+    cargo run --release --offline -p candle-bench --bin bench_overlap_json -- --quick --out BENCH_OVERLAP.json
+else
+    cargo run --release --offline -p candle-bench --bin bench_overlap_json -- --out BENCH_OVERLAP.json
 fi
 
 echo "==> bench OK"

@@ -19,6 +19,7 @@ fn nt3_spec(workers: usize, seed: u64) -> ParallelRunSpec {
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     }
 }
 

@@ -125,6 +125,7 @@ fn all_four_benchmarks_run_parallel() {
             data_mode: candle::pipeline::DataMode::FullReplicated,
             cache: None,
             data_service: None,
+            comm_overlap: None,
         };
         let out = candle::run_parallel(&spec).unwrap_or_else(|e| panic!("{bench:?}: {e}"));
         assert_eq!(out.epochs_per_worker, 2, "{bench:?}");
@@ -159,6 +160,7 @@ fn functional_and_simulated_planes_agree_on_structure() {
         data_mode: candle::pipeline::DataMode::FullReplicated,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     };
     let functional = candle::run_parallel(&spec).expect("functional");
     let tl = functional.timeline.expect("timeline");

@@ -61,6 +61,7 @@ fn weak_scaling_accuracy_is_stable() {
             data_mode: DataMode::FullReplicated,
             cache: None,
             data_service: None,
+            comm_overlap: None,
         };
         let out = candle::run_parallel(&spec).expect("weak run");
         accs.push(out.test_accuracy);
@@ -92,6 +93,7 @@ fn sharded_mode_learns() {
         data_mode: DataMode::Sharded,
         cache: None,
         data_service: None,
+        comm_overlap: None,
     };
     let out = candle::run_parallel(&spec).expect("sharded run");
     assert!(out.test_accuracy > 0.85, "accuracy {}", out.test_accuracy);
