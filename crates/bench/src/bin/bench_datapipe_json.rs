@@ -1,92 +1,57 @@
 //! Emits the shared-service-vs-independent-caches fleet comparison as
-//! machine-readable JSON.
+//! bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the ingest pass and writes
 //! `BENCH_DATAPIPE.json` at the repo root so CI can archive multi-job
 //! data-plane throughput per commit. The measurement comes from the same
 //! [`experiments::measure_datapipe_comparison`] driver that backs the
 //! `table_datapipe` experiment, so the JSON and the report always agree.
+//! Each data plane is one series over the `jobs` axis.
 //!
 //! Usage: `bench_datapipe_json [--quick] [--out PATH]`
 
-use std::io::Write;
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_DATAPIPE.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!(
-                    "unknown argument {other}; usage: bench_datapipe_json [--quick] [--out PATH]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_datapipe_json", "BENCH_DATAPIPE.json");
 
     let jobs = 32;
-    let (rows, cols, shards) = if quick { (1024, 16, 8) } else { (4096, 24, 8) };
+    let (rows, cols, shards) = if cli.quick { (1024, 16, 8) } else { (4096, 24, 8) };
     let c =
         experiments::measure_datapipe_comparison(jobs, rows, cols, shards).unwrap_or_else(|| {
             eprintln!("temp filesystem unavailable; cannot measure");
             std::process::exit(1);
         });
+    let speedup = c.independent_wall_s / c.shared_wall_s.max(1e-9);
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"shared dataset service vs independent caches\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!(
-        "  \"optimized_build\": {},\n",
-        !cfg!(debug_assertions)
-    ));
-    json.push_str(&format!("  \"jobs\": {},\n", c.jobs));
-    json.push_str(&format!("  \"rows\": {},\n", c.rows));
-    json.push_str(&format!("  \"cols\": {},\n", c.cols));
-    json.push_str(&format!("  \"bit_identical\": {},\n", c.bit_identical));
-    json.push_str(&format!(
-        "  \"shared\": {{ \"wall_s\": {:.6}, \"rows_per_s\": {:.1} }},\n",
-        c.shared_wall_s, c.shared_rows_per_s
-    ));
-    json.push_str(&format!(
-        "  \"independent\": {{ \"wall_s\": {:.6}, \"rows_per_s\": {:.1} }},\n",
-        c.independent_wall_s, c.independent_rows_per_s
-    ));
-    json.push_str(&format!(
-        "  \"speedup\": {:.4},\n",
-        c.independent_wall_s / c.shared_wall_s.max(1e-9)
-    ));
-    json.push_str(&format!(
-        "  \"pool\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"bytes_loaded\": {}, \"bytes_served\": {}, \"peak_resident_bytes\": {} }}\n",
-        c.pool.hits,
-        c.pool.misses,
-        c.pool.evictions,
-        c.pool.bytes_loaded,
-        c.pool.bytes_served,
-        c.pool.peak_resident_bytes
-    ));
-    json.push_str("}\n");
+    let base = |wall_s: f64, rows_per_s: f64| {
+        Point::at("jobs", c.jobs as f64)
+            .seconds(wall_s)
+            .metric("rows_per_s", rows_per_s)
+            .metric("rows", c.rows as f64)
+            .metric("cols", c.cols as f64)
+            .metric("bit_identical", c.bit_identical as u8 as f64)
+    };
+    Doc::new("shared dataset service vs independent caches", cli.quick)
+        .with(Series::new("shared_service", "jobs").with(
+            base(c.shared_wall_s, c.shared_rows_per_s)
+                .metric("speedup", speedup)
+                .metric("pool_hits", c.pool.hits as f64)
+                .metric("pool_misses", c.pool.misses as f64)
+                .metric("pool_evictions", c.pool.evictions as f64)
+                .metric("pool_bytes_loaded", c.pool.bytes_loaded as f64)
+                .metric("pool_bytes_served", c.pool.bytes_served as f64)
+                .metric("pool_peak_resident_bytes", c.pool.peak_resident_bytes as f64),
+        ))
+        .with(
+            Series::new("independent_caches", "jobs")
+                .with(base(c.independent_wall_s, c.independent_rows_per_s)),
+        )
+        .write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
     eprintln!(
-        "wrote {out_path}: {jobs} jobs, shared {:.0} rows/s vs independent {:.0} rows/s \
+        "wrote {}: {jobs} jobs, shared {:.0} rows/s vs independent {:.0} rows/s \
          ({:.2}x), bit_identical={}",
-        c.shared_rows_per_s,
-        c.independent_rows_per_s,
-        c.independent_wall_s / c.shared_wall_s.max(1e-9),
-        c.bit_identical
+        cli.out, c.shared_rows_per_s, c.independent_rows_per_s, speedup, c.bit_identical
     );
 }

@@ -1,99 +1,62 @@
-//! Emits the autoscaling serving-fleet comparison as machine-readable
-//! JSON.
+//! Emits the autoscaling serving-fleet comparison as bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the HPO pass and writes
 //! `BENCH_FLEET.json` at the repo root so CI can archive per-commit SLO
 //! attainment and joules-per-request for the three capacity policies
 //! (fixed-mean, fixed-peak, autoscaled). The measurement comes from the
 //! same [`experiments::measure_fleet_comparison`] driver that backs the
-//! `table_fleet` experiment — a deterministic virtual-time simulation,
-//! so successive runs of the same binary produce identical JSON.
+//! `table_fleet` experiment — a deterministic virtual-time simulation, so
+//! successive runs of the same binary produce identical JSON. All three
+//! policies share one series over the `replicas` axis, carrying both
+//! seconds (replica-time spent) and joules.
 //!
 //! Usage: `bench_fleet_json [--quick] [--out PATH]`
 
-use std::io::Write;
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_FLEET.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!(
-                    "unknown argument {other}; usage: bench_fleet_json [--quick] [--out PATH]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_fleet_json", "BENCH_FLEET.json");
 
-    let rows = experiments::measure_fleet_comparison(quick);
-
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"SLO-aware autoscaling serving fleet\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!(
-        "  \"optimized_build\": {},\n",
-        !cfg!(debug_assertions)
-    ));
-    json.push_str("  \"fleets\": [\n");
-    for (i, c) in rows.iter().enumerate() {
+    let rows = experiments::measure_fleet_comparison(cli.quick);
+    let mut fleets = Series::new("capacity_policies", "replicas");
+    for c in &rows {
         let r = &c.report;
-        json.push_str(&format!(
-            "    {{ \"label\": \"{}\", \"replicas\": {}, \"offered\": {}, \
-             \"completed\": {}, \"shed\": {}, \"overloaded\": {}, \
-             \"worst_window_p99_ms\": {:.3}, \"slo_attainment\": {:.6}, \
-             \"replica_seconds\": {:.3}, \"energy_j\": {:.3}, \
-             \"avg_power_w\": {:.3}, \"joules_per_request\": {:.6}, \
-             \"scale_decisions\": {}, \"outcome_fingerprint\": \"{:016x}\", \
-             \"decision_fingerprint\": \"{:016x}\" }}{}\n",
-            c.label,
-            c.replicas,
-            r.offered,
-            r.completed,
-            r.shed,
-            r.overloaded,
-            r.worst_window_p99_s * 1e3,
-            r.slo_attainment(),
-            r.replica_seconds,
-            r.energy_j,
-            r.avg_power_w,
-            r.joules_per_request,
-            r.decisions.len(),
-            r.outcome_fingerprint,
-            r.decision_fingerprint,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+        fleets.push(
+            Point::at("replicas", c.replicas as f64)
+                .seconds(r.replica_seconds)
+                .joules(r.energy_j)
+                .metric("offered", r.offered as f64)
+                .metric("completed", r.completed as f64)
+                .metric("shed", r.shed as f64)
+                .metric("overloaded", r.overloaded as f64)
+                .metric("worst_window_p99_ms", r.worst_window_p99_s * 1e3)
+                .metric("slo_attainment", r.slo_attainment())
+                .metric("avg_power_w", r.avg_power_w)
+                .metric("joules_per_request", r.joules_per_request)
+                .metric("scale_decisions", r.decisions.len() as f64)
+                .label("policy", c.label)
+                .label("outcome_fingerprint", &format!("{:016x}", r.outcome_fingerprint))
+                .label(
+                    "decision_fingerprint",
+                    &format!("{:016x}", r.decision_fingerprint),
+                ),
+        );
     }
-    json.push_str("  ],\n");
     let auto = &rows[2].report;
     let peak = &rows[1].report;
-    json.push_str(&format!(
-        "  \"auto_vs_peak_energy_ratio\": {:.6},\n",
-        auto.energy_j / peak.energy_j
-    ));
-    json.push_str(&format!(
-        "  \"auto_holds_slo\": {}\n",
-        auto.worst_window_p99_s <= 0.25
-    ));
-    json.push_str("}\n");
+    Doc::new("SLO-aware autoscaling serving fleet", cli.quick)
+        .with(fleets)
+        .with(Series::new("auto_vs_peak", "replicas").with(
+            Point::at("replicas", rows[2].replicas as f64)
+                .metric("energy_ratio", auto.energy_j / peak.energy_j)
+                .metric("auto_holds_slo", (auto.worst_window_p99_s <= 0.25) as u8 as f64),
+        ))
+        .write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
     eprintln!(
-        "wrote {out_path}: auto worst p99 {:.1} ms vs fixed-peak {:.1} ms, \
+        "wrote {}: auto worst p99 {:.1} ms vs fixed-peak {:.1} ms, \
          energy ratio {:.3}, joules/request {:.3} vs {:.3}",
+        cli.out,
         auto.worst_window_p99_s * 1e3,
         peak.worst_window_p99_s * 1e3,
         auto.energy_j / peak.energy_j,

@@ -1,37 +1,22 @@
 //! Emits the deterministic ASHA hyperparameter search's scorecard as
-//! machine-readable JSON.
+//! bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the datapipe pass and writes
 //! `BENCH_HPO.json` at the repo root so CI can archive per-commit search
 //! determinism and budget economics. The measurement comes from the same
 //! [`experiments::measure_hpo`] driver that backs the `table_hpo`
-//! experiment, so the JSON and the report always agree.
+//! experiment, so the JSON and the report always agree. The search is one
+//! series over the `trials` axis; the per-worker determinism fingerprints
+//! ride along as labels.
 //!
 //! Usage: `bench_hpo_json [--quick] [--out PATH]`
 
-use std::io::Write;
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_HPO.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!("unknown argument {other}; usage: bench_hpo_json [--quick] [--out PATH]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_hpo_json", "BENCH_HPO.json");
 
-    let m = experiments::measure_hpo(quick).unwrap_or_else(|| {
+    let m = experiments::measure_hpo(cli.quick).unwrap_or_else(|| {
         eprintln!("temp filesystem unavailable; cannot measure");
         std::process::exit(1);
     });
@@ -41,63 +26,37 @@ fn main() {
         .all(|&(_, fp)| fp == m.worker_fingerprints[0].1);
     let (hits, misses) = m.report.datapipe_totals();
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"deterministic ASHA hyperparameter search\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!(
-        "  \"optimized_build\": {},\n",
-        !cfg!(debug_assertions)
-    ));
-    json.push_str(&format!("  \"trials\": {},\n", m.report.config.trials));
-    json.push_str(&format!("  \"seed\": {},\n", m.report.config.seed));
-    json.push_str(&format!(
-        "  \"worker_fingerprints\": [{}],\n",
-        m.worker_fingerprints
-            .iter()
-            .map(|(w, fp)| format!("{{ \"workers\": {w}, \"fingerprint\": \"{fp:016x}\" }}"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    json.push_str(&format!(
-        "  \"fingerprints_identical\": {fingerprints_identical},\n"
-    ));
-    json.push_str(&format!("  \"winner\": {},\n", m.report.winner));
-    json.push_str(&format!(
-        "  \"winner_accuracy_full_budget\": {:.6},\n",
-        m.winner_acc
-    ));
-    json.push_str(&format!(
-        "  \"oracle\": {{ \"trial\": {}, \"accuracy\": {:.6} }},\n",
-        m.brute_best_id, m.brute_best_acc
-    ));
-    json.push_str(&format!(
-        "  \"resume_bit_exact\": {},\n",
-        m.resume_bit_exact
-    ));
-    json.push_str(&format!(
-        "  \"epochs\": {{ \"spent\": {}, \"full_budget\": {}, \"fraction\": {:.4} }},\n",
-        m.report.epochs_spent,
-        m.report.full_budget,
-        m.report.budget_fraction()
-    ));
-    json.push_str(&format!(
-        "  \"search_wall_s\": {:.6},\n",
-        m.report.wall_s
-    ));
-    json.push_str(&format!(
-        "  \"datapipe\": {{ \"shard_hits\": {hits}, \"shard_misses\": {misses} }}\n"
-    ));
-    json.push_str("}\n");
+    let fingerprints = m
+        .worker_fingerprints
+        .iter()
+        .map(|(w, fp)| format!("{w}:{fp:016x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    Doc::new("deterministic ASHA hyperparameter search", cli.quick)
+        .with(Series::new("search", "trials").with(
+            Point::at("trials", m.report.config.trials as f64)
+                .seconds(m.report.wall_s)
+                .metric("seed", m.report.config.seed as f64)
+                .metric("winner", m.report.winner as f64)
+                .metric("winner_accuracy_full_budget", m.winner_acc)
+                .metric("oracle_trial", m.brute_best_id as f64)
+                .metric("oracle_accuracy", m.brute_best_acc)
+                .metric("resume_bit_exact", m.resume_bit_exact as u8 as f64)
+                .metric("fingerprints_identical", fingerprints_identical as u8 as f64)
+                .metric("epochs_spent", m.report.epochs_spent as f64)
+                .metric("full_budget", m.report.full_budget as f64)
+                .metric("budget_fraction", m.report.budget_fraction())
+                .metric("datapipe_shard_hits", hits as f64)
+                .metric("datapipe_shard_misses", misses as f64)
+                .label("worker_fingerprints", &fingerprints),
+        ))
+        .write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
     eprintln!(
-        "wrote {out_path}: {} trials, winner {} at accuracy {:.4} (oracle {:.4}) using \
+        "wrote {}: {} trials, winner {} at accuracy {:.4} (oracle {:.4}) using \
          {}/{} epochs, fingerprints_identical={fingerprints_identical}, \
          resume_bit_exact={}",
+        cli.out,
         m.report.config.trials,
         m.report.winner,
         m.winner_acc,

@@ -1,94 +1,47 @@
-//! Emits the seed-vs-turbo CSV ingest comparison as machine-readable JSON.
+//! Emits the seed-vs-turbo CSV ingest comparison as bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the kernel pass and writes
 //! `BENCH_INGEST.json` at the repo root so CI can archive ingest
 //! throughput per commit. The measurements come from the same
 //! [`experiments::measure_ingest_comparison`] driver that backs the
 //! `table_ingest` experiment, so the JSON and the report always agree.
+//! Each read strategy is one series over the `mib` (file size) axis.
 //!
 //! Usage: `bench_ingest_json [--quick] [--out PATH]`
 
-use std::io::Write;
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_INGEST.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!("unknown argument {other}; usage: bench_ingest_json [--quick] [--out PATH]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_ingest_json", "BENCH_INGEST.json");
 
-    let rows = experiments::measure_ingest_comparison(quick);
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"seed vs turbo CSV ingest\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!("  \"optimized_build\": {},\n", !cfg!(debug_assertions)));
-    json.push_str("  \"strategies\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!(
-            "      \"strategy\": \"{}\",\n",
-            json_escape(r.strategy.label())
-        ));
-        json.push_str(&format!(
-            "      \"geometry\": \"{}\",\n",
-            json_escape(&r.geometry)
-        ));
-        json.push_str(&format!("      \"nt3_shape\": {},\n", r.nt3));
-        json.push_str(&format!("      \"seconds\": {:.6},\n", r.seconds));
-        json.push_str(&format!("      \"mib_per_s\": {:.3}", r.mib_s));
-        if let Some(p) = &r.phases {
-            json.push_str(",\n");
-            json.push_str(&format!(
-                "      \"scan_ms\": {:.3},\n",
-                p.scan.as_secs_f64() * 1e3
-            ));
-            json.push_str(&format!(
-                "      \"parse_ms\": {:.3},\n",
-                p.parse.as_secs_f64() * 1e3
-            ));
-            json.push_str(&format!(
-                "      \"materialize_ms\": {:.3}\n",
-                p.materialize.as_secs_f64() * 1e3
-            ));
-        } else {
-            json.push('\n');
+    let rows = experiments::measure_ingest_comparison(cli.quick);
+    let mut doc = Doc::new("seed vs turbo CSV ingest", cli.quick);
+    let mut series: Vec<(String, Series)> = Vec::new();
+    for r in &rows {
+        let name = r.strategy.label();
+        if !series.iter().any(|(n, _)| n == name) {
+            series.push((name.to_string(), Series::new(name, "mib")));
         }
-        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+        let s = &mut series.iter_mut().find(|(n, _)| n == name).expect("just inserted").1;
+        let mut p = Point::at("mib", r.mib_s * r.seconds)
+            .seconds(r.seconds)
+            .metric("mib_per_s", r.mib_s)
+            .metric("nt3_shape", r.nt3 as u8 as f64)
+            .label("geometry", &r.geometry);
+        if let Some(ph) = &r.phases {
+            p = p
+                .metric("scan_s", ph.scan.as_secs_f64())
+                .metric("parse_s", ph.parse.as_secs_f64())
+                .metric("materialize_s", ph.materialize.as_secs_f64());
+        }
+        s.push(p);
     }
-    json.push_str("  ]\n}\n");
+    for (_, s) in series {
+        doc.push(s);
+    }
+    doc.write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
-    eprintln!("wrote {} ingest measurements to {out_path}", rows.len());
+    eprintln!("wrote {} ingest measurements to {}", rows.len(), cli.out);
     for r in &rows {
         eprintln!(
             "  {:<55} {:>9.2}ms  {:>8.1} MiB/s",

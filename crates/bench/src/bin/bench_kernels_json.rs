@@ -1,80 +1,40 @@
-//! Emits the seed-vs-blocked kernel comparison as machine-readable JSON.
+//! Emits the seed-vs-blocked kernel comparison as bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the Criterion pass and writes
 //! `BENCH_KERNELS.json` at the repo root so CI can archive kernel
 //! throughput per commit. The measurements come from the same
 //! [`experiments::measure_kernel_comparison`] driver that backs the
 //! `table_kernels` experiment, so the JSON and the report always agree.
+//! Each engine is one series over the `flops` scale axis, so `perfmodel`
+//! can fit time-vs-work scaling laws straight off the artifact.
 //!
 //! Usage: `bench_kernels_json [--quick] [--out PATH]`
 
-use std::io::Write;
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_KERNELS.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!("unknown argument {other}; usage: bench_kernels_json [--quick] [--out PATH]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_kernels_json", "BENCH_KERNELS.json");
 
-    let rows = experiments::measure_kernel_comparison(quick);
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"seed vs blocked GEMM engine\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!("  \"optimized_build\": {},\n", !cfg!(debug_assertions)));
-    json.push_str("  \"kernels\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
-        json.push_str(&format!("      \"nt3_shape\": {},\n", r.nt3));
-        json.push_str(&format!("      \"flops\": {:.0},\n", r.flops));
-        json.push_str(&format!("      \"seed_ns_per_iter\": {:.0},\n", r.seed_s * 1e9));
-        json.push_str(&format!(
-            "      \"blocked_ns_per_iter\": {:.0},\n",
-            r.blocked_s * 1e9
-        ));
-        json.push_str(&format!("      \"seed_gflops\": {:.3},\n", r.seed_gflops()));
-        json.push_str(&format!(
-            "      \"blocked_gflops\": {:.3},\n",
-            r.blocked_gflops()
-        ));
-        json.push_str(&format!("      \"speedup\": {:.3}\n", r.speedup()));
-        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    let rows = experiments::measure_kernel_comparison(cli.quick);
+    let mut seed = Series::new("seed_engine", "flops");
+    let mut blocked = Series::new("blocked_engine", "flops");
+    for r in &rows {
+        let point = |seconds: f64| {
+            Point::at("flops", r.flops)
+                .seconds(seconds)
+                .metric("speedup", r.speedup())
+                .metric("nt3_shape", r.nt3 as u8 as f64)
+                .label("kernel", &r.name)
+        };
+        seed.push(point(r.seed_s).metric("gflops", r.seed_gflops()));
+        blocked.push(point(r.blocked_s).metric("gflops", r.blocked_gflops()));
     }
-    json.push_str("  ]\n}\n");
+    Doc::new("seed vs blocked GEMM engine", cli.quick)
+        .with(seed)
+        .with(blocked)
+        .write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
-    eprintln!("wrote {} kernel comparisons to {out_path}", rows.len());
+    eprintln!("wrote {} kernel comparisons to {}", rows.len(), cli.out);
     for r in &rows {
         eprintln!(
             "  {:<45} seed {:>9.2}ms  blocked {:>9.2}ms  {:>6.2}x",

@@ -1,88 +1,50 @@
 //! Emits the blocking-vs-overlapped gradient-sync comparison as
-//! machine-readable JSON.
+//! bench-emit-v1 JSON.
 //!
 //! `scripts/bench.sh` runs this after the kernel pass and writes
 //! `BENCH_OVERLAP.json` at the repo root so CI can archive the
 //! comm/compute-overlap numbers per commit. The measurements come from
 //! the same [`experiments::measure_overlap_comparison`] driver that backs
 //! the `table_overlap` experiment, so the JSON and the report always
-//! agree.
+//! agree. Each sync strategy is one series over the `workers` axis — the
+//! full-mode sweep spans four worker counts, enough for `perfmodel` to
+//! fit and regression-gate the epoch-time scaling law.
 //!
 //! Usage: `bench_overlap_json [--quick] [--out PATH]`
 
-use std::io::Write;
+use candle_bench::emit::{parse_cli, Doc, Point, Series};
 
 fn main() {
-    let mut quick = false;
-    let mut out_path = String::from("BENCH_OVERLAP.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!(
-                    "unknown argument {other}; usage: bench_overlap_json [--quick] [--out PATH]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = parse_cli("bench_overlap_json", "BENCH_OVERLAP.json");
 
-    let rows = experiments::measure_overlap_comparison(quick);
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"blocking vs overlapped gradient allreduce (NT3)\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(&format!(
-        "  \"optimized_build\": {},\n",
-        !cfg!(debug_assertions)
-    ));
-    json.push_str("  \"runs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"workers\": {},\n", r.workers));
-        json.push_str(&format!(
-            "      \"blocking_epoch_s\": {:.6},\n",
-            r.blocking_epoch_s
-        ));
-        json.push_str(&format!(
-            "      \"overlapped_epoch_s\": {:.6},\n",
-            r.overlapped_epoch_s
-        ));
-        json.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup()));
-        json.push_str(&format!(
-            "      \"comm_hidden_s\": {:.6},\n",
-            r.comm_hidden_s
-        ));
-        json.push_str(&format!(
-            "      \"comm_exposed_s\": {:.6},\n",
-            r.comm_exposed_s
-        ));
-        json.push_str(&format!(
-            "      \"exposed_fraction\": {:.4},\n",
-            r.exposed_fraction()
-        ));
-        json.push_str(&format!(
-            "      \"predicted_exposed_fraction\": {:.4},\n",
-            r.predicted_exposed_fraction()
-        ));
-        json.push_str(&format!("      \"buckets\": {},\n", r.buckets));
-        json.push_str(&format!("      \"steps\": {}\n", r.steps));
-        json.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    let rows = experiments::measure_overlap_comparison(cli.quick);
+    let mut blocking = Series::new("blocking_epoch", "workers");
+    let mut overlapped = Series::new("overlapped_epoch", "workers");
+    for r in &rows {
+        blocking.push(
+            Point::at("workers", r.workers as f64)
+                .seconds(r.blocking_epoch_s)
+                .label("bench", "NT3"),
+        );
+        overlapped.push(
+            Point::at("workers", r.workers as f64)
+                .seconds(r.overlapped_epoch_s)
+                .metric("speedup", r.speedup())
+                .metric("comm_hidden_s", r.comm_hidden_s)
+                .metric("comm_exposed_s", r.comm_exposed_s)
+                .metric("exposed_fraction", r.exposed_fraction())
+                .metric("predicted_exposed_fraction", r.predicted_exposed_fraction())
+                .metric("buckets", r.buckets as f64)
+                .metric("steps", r.steps as f64)
+                .label("bench", "NT3"),
+        );
     }
-    json.push_str("  ]\n}\n");
+    Doc::new("blocking vs overlapped gradient allreduce (NT3)", cli.quick)
+        .with(blocking)
+        .with(overlapped)
+        .write_or_exit(&cli.out);
 
-    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
-        eprintln!("cannot create {out_path}: {e}");
-        std::process::exit(1);
-    });
-    file.write_all(json.as_bytes()).expect("write JSON");
-    eprintln!("wrote {} overlap comparisons to {out_path}", rows.len());
+    eprintln!("wrote {} overlap comparisons to {}", rows.len(), cli.out);
     for r in &rows {
         eprintln!(
             "  {:>2} workers  blocking {:>8.3}s/ep  overlapped {:>8.3}s/ep  \

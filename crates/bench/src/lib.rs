@@ -12,3 +12,9 @@
 //! * `training` — full functional epochs, single vs multi-worker;
 //! * `paper_tables`, `paper_figures` — timed regeneration of every table
 //!   and figure (their output doubles as the paper report).
+//!
+//! The `src/bin/bench_*_json` emitters share the [`emit`] module's
+//! **bench-emit-v1** schema, and `bench_index_json` merges their output
+//! into the `BENCH_INDEX.json` manifest `perfmodel` fits and gates on.
+
+pub mod emit;

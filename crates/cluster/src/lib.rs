@@ -30,6 +30,7 @@ pub mod io;
 pub mod machine;
 pub mod power;
 pub mod run;
+pub mod sweep;
 
 pub use comm::{overlap_exposed_seconds, CommModel, NcclVersion};
 pub use io::{contention_factor, fleet_load_seconds, load_seconds, DataPlane, LoadMethod};
@@ -38,3 +39,4 @@ pub use power::{build_power_trace, fleet_power, FleetPowerSummary, PowerPhase, P
 pub use run::{
     RecoveryCost, RunConfig, RunError, RunPhase, RunReport, ScalingMode, WorkloadProfile,
 };
+pub use sweep::{sweep, sweep_reports, SweepPoint};

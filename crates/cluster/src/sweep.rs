@@ -1,0 +1,127 @@
+//! Programmatic scale sweeps over the run simulator.
+//!
+//! Performance-model calibration (`perfmodel`), the experiments tables,
+//! and sim-vs-fit validation all need the same primitive: "simulate this
+//! workload at each worker count and give me `(scale, seconds, joules)`".
+//! Before this module each caller re-rolled the loop (and its skip-rule
+//! for infeasible scale points) by hand; now there is one code path.
+
+use crate::run::{simulate, RunConfig, RunReport, WorkloadProfile};
+
+/// One feasible point of a scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Worker count as a scale-axis value.
+    pub scale: f64,
+    /// Simulated total runtime, seconds.
+    pub seconds: f64,
+    /// Simulated total energy, joules (per-device summary).
+    pub joules: f64,
+}
+
+/// Simulates `profile` at every worker count, building each point's
+/// configuration with `config_of` (worker count in, full [`RunConfig`]
+/// out — the hook is where batch-size scaling or load-method choices
+/// live). Scale points the configuration cannot run — e.g. strong
+/// scaling with more workers than epochs — are skipped, mirroring the
+/// paper's "requires at least 4 epochs" footnotes, not failed.
+pub fn sweep_reports(
+    profile: &WorkloadProfile,
+    workers: &[usize],
+    config_of: impl Fn(usize) -> RunConfig,
+) -> Vec<(usize, RunReport)> {
+    workers
+        .iter()
+        .filter_map(|&w| simulate(profile, &config_of(w)).ok().map(|r| (w, r)))
+        .collect()
+}
+
+/// Like [`sweep_reports`], reduced to the `(scale, seconds, joules)`
+/// tuples scaling-law fitters consume.
+pub fn sweep(
+    profile: &WorkloadProfile,
+    workers: &[usize],
+    config_of: impl Fn(usize) -> RunConfig,
+) -> Vec<SweepPoint> {
+    sweep_reports(profile, workers, config_of)
+        .into_iter()
+        .map(|(w, r)| SweepPoint {
+            scale: w as f64,
+            seconds: r.total_s,
+            joules: r.power.energy_j,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Bench;
+    use crate::io::LoadMethod;
+    use crate::machine::Machine;
+    use crate::run::ScalingMode;
+
+    fn nt3() -> WorkloadProfile {
+        WorkloadProfile {
+            bench: Bench::Nt3,
+            train_samples: 1120,
+            default_batch: 20,
+            total_epochs: 384,
+        }
+    }
+
+    fn nt3_strong(workers: usize) -> RunConfig {
+        RunConfig {
+            machine: Machine::Summit,
+            workers,
+            batch_size: 20,
+            scaling: ScalingMode::Strong,
+            load_method: LoadMethod::ChunkedLowMemoryFalse,
+        }
+    }
+
+    #[test]
+    fn sweep_yields_monotone_scales_and_positive_metrics() {
+        let pts = sweep(&nt3(), &[1, 6, 12, 24, 48], nt3_strong);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].scale < w[1].scale);
+            // Strong scaling: runtime shrinks with workers.
+            assert!(w[0].seconds > w[1].seconds);
+        }
+        assert!(pts.iter().all(|p| p.seconds > 0.0 && p.joules > 0.0));
+    }
+
+    #[test]
+    fn sweep_skips_infeasible_points() {
+        // P1B3 has a single epoch: strong scaling past 1 worker cannot
+        // split it.
+        let p1b3 = WorkloadProfile {
+            bench: Bench::P1b3,
+            train_samples: 900_100,
+            default_batch: 100,
+            total_epochs: 1,
+        };
+        let pts = sweep(&p1b3, &[1, 6, 12], |w| RunConfig {
+            machine: Machine::Summit,
+            workers: w,
+            batch_size: 100,
+            scaling: ScalingMode::Strong,
+            load_method: LoadMethod::PandasDefault,
+        });
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].scale, 1.0);
+    }
+
+    #[test]
+    fn reports_and_tuples_agree() {
+        let reports = sweep_reports(&nt3(), &[1, 6, 12], nt3_strong);
+        let pts = sweep(&nt3(), &[1, 6, 12], nt3_strong);
+        assert_eq!(reports.len(), pts.len());
+        for ((w, r), p) in reports.iter().zip(&pts) {
+            assert_eq!(*w as f64, p.scale);
+            assert_eq!(r.total_s, p.seconds);
+            assert_eq!(r.power.energy_j, p.joules);
+        }
+    }
+}

@@ -230,7 +230,7 @@ pub fn table_datapipe(quick: bool) -> Experiment {
             ));
             // Timer-based comparisons only mean something in release
             // builds; debug walls are dominated by unoptimized decode.
-            if !quick && !cfg!(debug_assertions) {
+            if crate::gate::timed_asserts_enabled(quick) {
                 assert!(
                     c.shared_rows_per_s >= c.independent_rows_per_s,
                     "shared plane slower than {jobs} independent caches: {:.0} vs {:.0} rows/s",

@@ -35,10 +35,11 @@ pub struct FleetComparison {
     pub report: FleetSimReport,
 }
 
-/// The latency objective every fleet is held to.
-const SLO_P99_S: f64 = 0.25;
+/// The latency objective every fleet is held to (shared with the
+/// perfmodel table's fleet-sizing tuner).
+pub(crate) const SLO_P99_S: f64 = 0.25;
 
-fn service() -> ServiceModel {
+pub(crate) fn service() -> ServiceModel {
     ServiceModel {
         batch_base_s: 0.002,
         batch_per_row_s: 0.0005,
@@ -46,7 +47,7 @@ fn service() -> ServiceModel {
     }
 }
 
-fn trace(quick: bool) -> TraceConfig {
+pub(crate) fn trace(quick: bool) -> TraceConfig {
     if quick {
         TraceConfig {
             seed: 7,
@@ -92,14 +93,14 @@ fn trace(quick: bool) -> TraceConfig {
 
 /// Largest instantaneous rate the trace actually reaches (the envelope
 /// `peak_rps` over-counts when bursts do not overlap).
-fn actual_peak_rps(t: &TraceConfig) -> f64 {
+pub(crate) fn actual_peak_rps(t: &TraceConfig) -> f64 {
     let steps = (t.duration_s * 10.0).ceil() as usize;
     (0..=steps)
         .map(|k| t.rate_at(k as f64 * 0.1))
         .fold(0.0f64, f64::max)
 }
 
-fn base_config(quick: bool, scaling: ScalePolicy, shed_wait_frac: f64) -> SimFleetConfig {
+pub(crate) fn base_config(quick: bool, scaling: ScalePolicy, shed_wait_frac: f64) -> SimFleetConfig {
     SimFleetConfig {
         trace: trace(quick),
         service: service(),

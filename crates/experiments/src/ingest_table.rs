@@ -135,7 +135,7 @@ pub fn measure_ingest_comparison(quick: bool) -> Vec<IngestComparison> {
 /// timings are too distorted to gate on.
 pub fn table_ingest(quick: bool) -> Experiment {
     let rows = measure_ingest_comparison(quick);
-    if !quick && !cfg!(debug_assertions) {
+    if crate::gate::timed_asserts_enabled(quick) {
         let time_of = |s: ReadStrategy| {
             rows.iter()
                 .find(|r| r.nt3 && r.strategy == s)

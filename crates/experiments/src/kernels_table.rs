@@ -172,7 +172,7 @@ pub fn measure_kernel_comparison(quick: bool) -> Vec<KernelComparison> {
 /// on, and quick mode's shrunken shapes are not the NT3 shapes.
 pub fn table_kernels(quick: bool) -> Experiment {
     let rows = measure_kernel_comparison(quick);
-    if !quick && !cfg!(debug_assertions) {
+    if crate::gate::timed_asserts_enabled(quick) {
         for r in rows.iter().filter(|r| r.nt3) {
             assert!(
                 r.speedup() > 1.0,

@@ -25,10 +25,12 @@ mod figures_strong;
 mod figures_weak;
 mod fleet_table;
 mod functional;
+mod gate;
 mod hpo_table;
 mod ingest_table;
 mod kernels_table;
 mod overlap_table;
+mod perfmodel_table;
 mod report;
 mod resil_table;
 mod serve_table;
@@ -47,10 +49,12 @@ pub use figures_strong::{fig6, fig7, fig8, fig9};
 pub use figures_weak::{fig18, fig19, fig20, fig21};
 pub use fleet_table::{measure_fleet_comparison, table_fleet, FleetComparison};
 pub use functional::{accuracy_sweep, AccuracyPoint};
+pub use gate::{multicore_host, timed_asserts_enabled};
 pub use hpo_table::{measure_hpo, table_hpo, HpoMeasurement};
 pub use ingest_table::{measure_ingest_comparison, table_ingest, IngestComparison};
 pub use kernels_table::{measure_kernel_comparison, table_kernels, KernelComparison};
 pub use overlap_table::{measure_overlap_comparison, table_overlap, OverlapComparison};
+pub use perfmodel_table::{table_perfmodel, FitValidation, TunedKnob};
 pub use report::{format_table, Experiment};
 pub use resil_table::table_resil;
 pub use serve_table::{measure_serving_sweep, table_serve, ServingRow};
@@ -97,6 +101,7 @@ pub fn all(quick: bool) -> Vec<Experiment> {
         table_hpo(quick),
         table_fleet(quick),
         table_overlap(quick),
+        table_perfmodel(quick),
     ]
 }
 
@@ -105,7 +110,7 @@ mod tests {
     #[test]
     fn all_quick_runs_every_experiment() {
         let experiments = super::all(true);
-        assert_eq!(experiments.len(), 31);
+        assert_eq!(experiments.len(), 32);
         for e in &experiments {
             assert!(!e.text.is_empty(), "{} rendered empty", e.id);
             assert!(!e.title.is_empty());
@@ -123,5 +128,6 @@ mod tests {
         assert!(experiments.iter().any(|e| e.id == "table_hpo"));
         assert!(experiments.iter().any(|e| e.id == "table_fleet"));
         assert!(experiments.iter().any(|e| e.id == "table_overlap"));
+        assert!(experiments.iter().any(|e| e.id == "table_perfmodel"));
     }
 }

@@ -85,7 +85,11 @@ impl OverlapComparison {
     }
 }
 
-fn spec(workers: usize, epochs_per_worker: usize, overlap: Option<usize>) -> ParallelRunSpec {
+pub(crate) fn spec(
+    workers: usize,
+    epochs_per_worker: usize,
+    overlap: Option<usize>,
+) -> ParallelRunSpec {
     ParallelRunSpec {
         bench: Bench::Nt3,
         workers,
@@ -102,7 +106,7 @@ fn spec(workers: usize, epochs_per_worker: usize, overlap: Option<usize>) -> Par
     }
 }
 
-fn phase(out: &ParallelRunOutcome, name: &str) -> (f64, u64) {
+pub(crate) fn phase(out: &ParallelRunOutcome, name: &str) -> (f64, u64) {
     out.profile
         .records()
         .iter()
@@ -175,10 +179,8 @@ pub fn measure_overlap_comparison(quick: bool) -> Vec<OverlapComparison> {
 /// distorted to gate on, and quick mode's single epoch is too noisy.
 pub fn table_overlap(quick: bool) -> Experiment {
     let rows = measure_overlap_comparison(quick);
-    if !quick && !cfg!(debug_assertions) {
-        let multicore = std::thread::available_parallelism()
-            .map(|p| p.get() >= 2)
-            .unwrap_or(false);
+    if crate::gate::timed_asserts_enabled(quick) {
+        let multicore = crate::gate::multicore_host();
         for r in &rows {
             let err = (r.predicted_exposed_s - r.comm_exposed_s).abs();
             assert!(

@@ -1,7 +1,7 @@
 //! Shared model-plane sweep helpers.
 
 use candle::{BenchId, HyperParams};
-use cluster::{run::simulate, LoadMethod, Machine, RunConfig, RunReport, ScalingMode};
+use cluster::{sweep_reports, LoadMethod, Machine, RunConfig, RunReport, ScalingMode};
 
 /// The paper's Summit GPU counts for strong scaling (Figs 6/8/9/11/14/16).
 pub const SUMMIT_GPU_SWEEP: [usize; 8] = [1, 6, 12, 24, 48, 96, 192, 384];
@@ -35,9 +35,10 @@ impl MethodComparisonRow {
     }
 }
 
-/// Simulates original-vs-optimized across a worker sweep, skipping scale
-/// points the configuration cannot run (e.g. strong scaling with more
-/// workers than epochs).
+/// Simulates original-vs-optimized across a worker sweep on the shared
+/// [`cluster::sweep_reports`] code path, skipping scale points the
+/// configuration cannot run (e.g. strong scaling with more workers than
+/// epochs).
 pub fn method_comparison_sweep(
     bench: BenchId,
     machine: Machine,
@@ -46,31 +47,29 @@ pub fn method_comparison_sweep(
 ) -> Vec<MethodComparisonRow> {
     let hp = HyperParams::of(bench);
     let profile = hp.workload();
-    workers
-        .iter()
-        .filter_map(|&w| {
-            let mk = |method: LoadMethod| {
-                simulate(
-                    &profile,
-                    &RunConfig {
-                        machine,
-                        workers: w,
-                        batch_size: hp.batch_size,
-                        scaling,
-                        load_method: method,
-                    },
-                )
-            };
-            match (
-                mk(LoadMethod::PandasDefault),
-                mk(LoadMethod::ChunkedLowMemoryFalse),
-            ) {
-                (Ok(original), Ok(optimized)) => Some(MethodComparisonRow {
-                    workers: w,
-                    original,
-                    optimized,
-                }),
-                _ => None,
+    let config = |method: LoadMethod| {
+        move |w: usize| RunConfig {
+            machine,
+            workers: w,
+            batch_size: hp.batch_size,
+            scaling,
+            load_method: method,
+        }
+    };
+    let original = sweep_reports(&profile, workers, config(LoadMethod::PandasDefault));
+    let optimized = sweep_reports(&profile, workers, config(LoadMethod::ChunkedLowMemoryFalse));
+    // The load method never changes feasibility, so the two sweeps skip
+    // identical points and zip cleanly.
+    assert_eq!(original.len(), optimized.len());
+    original
+        .into_iter()
+        .zip(optimized)
+        .map(|((w, original), (w2, optimized))| {
+            debug_assert_eq!(w, w2);
+            MethodComparisonRow {
+                workers: w,
+                original,
+                optimized,
             }
         })
         .collect()

@@ -1,0 +1,87 @@
+//! CI perf-regression gate over a merged `BENCH_INDEX.json`.
+//!
+//! Fits an Extra-P-style scaling law to every `seconds`/`joules` series
+//! in the manifest and flags points the law fitted to the *rest* of the
+//! series cannot predict (see `perfmodel::regress`). Writes the
+//! machine-readable `perfmodel-check-v1` report and exits non-zero on
+//! flags unless `--warn-only` (shared CI runners jitter; the gate is
+//! advisory there and strict on dedicated hardware).
+//!
+//! Usage:
+//! `perfmodel_check --index BENCH_INDEX.json [--out BENCH_PERFMODEL.json]
+//!  [--min-scales N] [--warn-only]`
+
+use std::io::Write;
+
+fn main() {
+    let mut index_path = String::from("BENCH_INDEX.json");
+    let mut out_path = String::from("BENCH_PERFMODEL.json");
+    let mut warn_only = false;
+    let mut min_scales = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--index" => index_path = take("--index"),
+            "--out" => out_path = take("--out"),
+            "--warn-only" => warn_only = true,
+            "--min-scales" => {
+                min_scales = take("--min-scales").parse().unwrap_or_else(|_| {
+                    eprintln!("--min-scales requires an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: perfmodel_check --index BENCH_INDEX.json \
+                     [--out BENCH_PERFMODEL.json] [--min-scales N] [--warn-only]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = std::fs::read_to_string(&index_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {index_path}: {e}");
+        std::process::exit(1);
+    });
+    let entries = perfmodel::parse_index(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {index_path}: {e}");
+        std::process::exit(1);
+    });
+    let checks = perfmodel::check_index(&entries, min_scales);
+    let flagged = perfmodel::total_flags(&checks);
+
+    let mut file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(perfmodel::report_json(&checks).as_bytes())
+        .expect("write report");
+
+    eprintln!(
+        "perfmodel_check: {} series from {} ({} checked, {} skipped), {flagged} flagged",
+        checks.len(),
+        index_path,
+        checks
+            .iter()
+            .filter(|c| matches!(c.outcome, perfmodel::CheckOutcome::Checked { .. }))
+            .count(),
+        checks
+            .iter()
+            .filter(|c| matches!(c.outcome, perfmodel::CheckOutcome::Skipped { .. }))
+            .count(),
+    );
+    eprint!("{}", perfmodel::regress::render_text(&checks));
+    eprintln!("wrote {out_path}");
+
+    if flagged > 0 && !warn_only {
+        eprintln!("perf regression gate FAILED ({flagged} points off their fitted scaling laws)");
+        std::process::exit(1);
+    }
+}

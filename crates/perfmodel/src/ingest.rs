@@ -1,0 +1,332 @@
+//! Ingestion of the shared `bench::emit` JSON schema.
+//!
+//! Every `bench_*_json` bin emits the same **bench-emit-v1** document:
+//!
+//! ```json
+//! {
+//!   "schema": "bench-emit-v1",
+//!   "benchmark": "<human name>",
+//!   "quick": false,
+//!   "optimized_build": true,
+//!   "host": {"fingerprint": "linux-x86_64-8t", "threads": 8,
+//!            "arch": "x86_64", "os": "linux"},
+//!   "series": [
+//!     {"name": "overlapped_epoch_seconds", "scale_axis": "workers",
+//!      "points": [{"axes": {"workers": 4}, "seconds": 1.25,
+//!                  "joules": null, "metrics": {"speedup": 1.3},
+//!                  "labels": {"bench": "NT3"}}]}
+//!   ]
+//! }
+//! ```
+//!
+//! and `bench_index_json` merges the per-benchmark files into one
+//! **bench-index-v1** manifest (`BENCH_INDEX.json`):
+//!
+//! ```json
+//! {"schema": "bench-index-v1",
+//!  "entries": [{"file": "BENCH_OVERLAP.json", "doc": { … emit-v1 … }}]}
+//! ```
+//!
+//! This module parses both back into typed structs and flattens them into
+//! fit-ready [`SamplePoint`] series keyed by `file:series:metric`, which
+//! is what the `perfmodel_check` regression gate consumes.
+
+use std::fmt;
+
+use crate::fit::SamplePoint;
+use crate::json::{self, Value};
+
+/// One point of an emitted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Named scale axes (`workers`, `flops`, `replicas`, …).
+    pub axes: Vec<(String, f64)>,
+    /// Wall-clock seconds, when the series measures time.
+    pub seconds: Option<f64>,
+    /// Energy in joules, when the series accounts energy.
+    pub joules: Option<f64>,
+    /// Additional numeric metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Free-form string labels.
+    pub labels: Vec<(String, String)>,
+}
+
+impl BenchPoint {
+    /// The value of a named axis.
+    pub fn axis(&self, name: &str) -> Option<f64> {
+        self.axes.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
+
+/// One named series of an emitted benchmark document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSeries {
+    /// Series name within the document.
+    pub name: String,
+    /// Which axis is the scale the series varies over.
+    pub scale_axis: String,
+    /// The measured points.
+    pub points: Vec<BenchPoint>,
+}
+
+/// A parsed bench-emit-v1 document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Human benchmark name.
+    pub benchmark: String,
+    /// Whether the run used shrunken quick shapes.
+    pub quick: bool,
+    /// Whether the producing binary was an optimized build.
+    pub optimized_build: bool,
+    /// Host fingerprint string (`os-arch-<threads>t`).
+    pub host_fingerprint: String,
+    /// The series.
+    pub series: Vec<BenchSeries>,
+}
+
+/// Why a document could not be ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The JSON text failed to parse.
+    Json(json::ParseError),
+    /// The document parsed but does not follow the schema.
+    Schema(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Json(e) => write!(f, "{e}"),
+            IngestError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<json::ParseError> for IngestError {
+    fn from(e: json::ParseError) -> Self {
+        IngestError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, IngestError> {
+    Err(IngestError::Schema(msg.into()))
+}
+
+fn string_field(v: &Value, key: &str) -> Result<String, IngestError> {
+    match v.get(key).and_then(Value::as_str) {
+        Some(s) => Ok(s.to_string()),
+        None => schema_err(format!("missing string field '{key}'")),
+    }
+}
+
+fn numeric_pairs(v: Option<&Value>) -> Vec<(String, f64)> {
+    v.and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn point_from_value(v: &Value) -> Result<BenchPoint, IngestError> {
+    let axes = numeric_pairs(v.get("axes"));
+    if axes.is_empty() {
+        return schema_err("point has no numeric axes");
+    }
+    let labels = v
+        .get("labels")
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(BenchPoint {
+        axes,
+        seconds: v.get("seconds").and_then(Value::as_f64),
+        joules: v.get("joules").and_then(Value::as_f64),
+        metrics: numeric_pairs(v.get("metrics")),
+        labels,
+    })
+}
+
+/// Parses a bench-emit-v1 document from a [`Value`].
+pub fn doc_from_value(v: &Value) -> Result<BenchDoc, IngestError> {
+    if v.get("schema").and_then(Value::as_str) != Some("bench-emit-v1") {
+        return schema_err("not a bench-emit-v1 document");
+    }
+    let series_val = match v.get("series").and_then(Value::as_array) {
+        Some(a) => a,
+        None => return schema_err("missing series array"),
+    };
+    let mut series = Vec::with_capacity(series_val.len());
+    for s in series_val {
+        let points_val = match s.get("points").and_then(Value::as_array) {
+            Some(a) => a,
+            None => return schema_err("series missing points array"),
+        };
+        let mut points = Vec::with_capacity(points_val.len());
+        for p in points_val {
+            points.push(point_from_value(p)?);
+        }
+        series.push(BenchSeries {
+            name: string_field(s, "name")?,
+            scale_axis: string_field(s, "scale_axis")?,
+            points,
+        });
+    }
+    Ok(BenchDoc {
+        benchmark: string_field(v, "benchmark")?,
+        quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
+        optimized_build: v
+            .get("optimized_build")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        host_fingerprint: v
+            .get("host")
+            .and_then(|h| h.get("fingerprint"))
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        series,
+    })
+}
+
+/// Parses a bench-emit-v1 document from JSON text.
+pub fn parse_doc(text: &str) -> Result<BenchDoc, IngestError> {
+    doc_from_value(&json::parse(text)?)
+}
+
+/// Parses a bench-index-v1 manifest into `(file, doc)` entries.
+pub fn parse_index(text: &str) -> Result<Vec<(String, BenchDoc)>, IngestError> {
+    let v = json::parse(text)?;
+    if v.get("schema").and_then(Value::as_str) != Some("bench-index-v1") {
+        return schema_err("not a bench-index-v1 manifest");
+    }
+    let entries = match v.get("entries").and_then(Value::as_array) {
+        Some(a) => a,
+        None => return schema_err("missing entries array"),
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let file = string_field(e, "file")?;
+        let doc = match e.get("doc") {
+            Some(d) => doc_from_value(d)?,
+            None => return schema_err(format!("entry '{file}' missing embedded doc")),
+        };
+        out.push((file, doc));
+    }
+    Ok(out)
+}
+
+/// A flattened, fit-ready series: one `(scale, value)` sample per point
+/// that carried the metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    /// `file:series:metric` identifier.
+    pub id: String,
+    /// Name of the scale axis the samples vary over.
+    pub scale_axis: String,
+    /// The samples, in document order.
+    pub points: Vec<SamplePoint>,
+}
+
+/// Flattens parsed `(file, doc)` entries into per-metric series: each
+/// emitted series contributes one [`MetricSeries`] per metric it carries
+/// (`seconds`, `joules`), keyed `file:series:metric`. Points whose scale
+/// axis is missing, below 1, or whose value is not strictly positive are
+/// dropped — the fitter cannot use them and a regression gate should not
+/// fail on absent data.
+pub fn flatten(entries: &[(String, BenchDoc)]) -> Vec<MetricSeries> {
+    let mut out = Vec::new();
+    for (file, doc) in entries {
+        for s in &doc.series {
+            for (metric, get) in [
+                ("seconds", (|p: &BenchPoint| p.seconds) as fn(&BenchPoint) -> Option<f64>),
+                ("joules", |p: &BenchPoint| p.joules),
+            ] {
+                let points: Vec<SamplePoint> = s
+                    .points
+                    .iter()
+                    .filter_map(|p| {
+                        let scale = p.axis(&s.scale_axis)?;
+                        let value = get(p)?;
+                        (scale >= 1.0 && value > 0.0 && value.is_finite())
+                            .then_some(SamplePoint { scale, value })
+                    })
+                    .collect();
+                if !points.is_empty() {
+                    out.push(MetricSeries {
+                        id: format!("{file}:{}:{metric}", s.name),
+                        scale_axis: s.scale_axis.clone(),
+                        points,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "schema": "bench-emit-v1",
+      "benchmark": "overlap",
+      "quick": true,
+      "optimized_build": true,
+      "host": {"fingerprint": "linux-x86_64-8t", "threads": 8,
+               "arch": "x86_64", "os": "linux"},
+      "series": [
+        {"name": "overlapped_epoch_seconds", "scale_axis": "workers",
+         "points": [
+           {"axes": {"workers": 1}, "seconds": 2.0, "joules": null,
+            "metrics": {"speedup": 1.0}, "labels": {"bench": "NT3"}},
+           {"axes": {"workers": 2}, "seconds": 1.2},
+           {"axes": {"workers": 4}, "seconds": 0.8, "joules": 12.5}
+         ]}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_and_flattens_doc() {
+        let doc = parse_doc(DOC).expect("parse doc");
+        assert_eq!(doc.benchmark, "overlap");
+        assert_eq!(doc.host_fingerprint, "linux-x86_64-8t");
+        assert_eq!(doc.series.len(), 1);
+        assert_eq!(doc.series[0].points[0].axis("workers"), Some(1.0));
+
+        let flat = flatten(&[("BENCH_OVERLAP.json".to_string(), doc)]);
+        assert_eq!(flat.len(), 2, "seconds and joules series");
+        let secs = &flat[0];
+        assert_eq!(secs.id, "BENCH_OVERLAP.json:overlapped_epoch_seconds:seconds");
+        assert_eq!(secs.points.len(), 3);
+        let joules = &flat[1];
+        assert_eq!(joules.points.len(), 1, "only one point carries joules");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let index = format!(
+            "{{\"schema\": \"bench-index-v1\", \"entries\": [{{\"file\": \"A.json\", \"doc\": {DOC}}}]}}"
+        );
+        let entries = parse_index(&index).expect("parse index");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "A.json");
+        assert_eq!(entries[0].1.benchmark, "overlap");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(matches!(
+            parse_doc("{\"schema\": \"other\"}"),
+            Err(IngestError::Schema(_))
+        ));
+    }
+}

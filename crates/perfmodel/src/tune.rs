@@ -1,0 +1,275 @@
+//! Model-driven autotuning: closing the loop from fitted performance
+//! models back to configuration choices.
+//!
+//! The paper's method — measure, model, then *change the configuration*
+//! — is only an analysis until something picks knobs automatically. This
+//! module holds the three pickers the experiments exercise:
+//!
+//! * [`pick_overlap_threshold`] — the comm/compute-overlap fusion
+//!   threshold, chosen by running the calibrated α–β bucket-pipeline
+//!   recurrence ([`cluster::overlap_exposed_seconds`]) over every
+//!   candidate threshold's [`FusionPlan`];
+//! * [`pick_worker_count`] — the training worker count, chosen as the
+//!   argmin of a fitted time-vs-workers scaling law over the feasible
+//!   candidates;
+//! * [`pick_fleet_initial_size`] — the serving fleet's initial replica
+//!   count, chosen as the smallest fleet whose fitted p99-vs-replicas
+//!   law predicts the SLO holds.
+//!
+//! All pickers are pure, deterministic functions of their inputs.
+
+use collectives::FusionPlan;
+
+use crate::fit::FittedModel;
+
+/// A calibrated per-bucket allreduce cost model
+/// `comm(bytes) = α + β·bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapCostModel {
+    /// Fixed cost per bucket allreduce (latency, dispatch, handoff).
+    pub alpha_s: f64,
+    /// Marginal cost per payload byte.
+    pub beta_s_per_byte: f64,
+}
+
+impl OverlapCostModel {
+    /// Calibrates α and β from two measured runs of the same model and
+    /// step count at *different* fusion thresholds: both runs ship the
+    /// same total bytes, so the measured comm-busy difference is purely
+    /// the per-bucket fixed cost (`busy = buckets·α + total_bytes·β`).
+    /// Degenerate inputs clamp to a non-negative model instead of
+    /// failing — a tuner should degrade, not panic, on noisy timers.
+    pub fn calibrate(
+        buckets_a: u64,
+        comm_busy_a_s: f64,
+        buckets_b: u64,
+        comm_busy_b_s: f64,
+        total_bytes: f64,
+    ) -> OverlapCostModel {
+        let (hi_n, hi_s, lo_n, lo_s) = if buckets_a >= buckets_b {
+            (buckets_a, comm_busy_a_s, buckets_b, comm_busy_b_s)
+        } else {
+            (buckets_b, comm_busy_b_s, buckets_a, comm_busy_a_s)
+        };
+        let alpha = if hi_n > lo_n {
+            ((hi_s - lo_s) / (hi_n - lo_n) as f64).max(0.0)
+        } else {
+            0.0
+        };
+        let beta = if total_bytes > 0.0 {
+            ((lo_s - lo_n as f64 * alpha) / total_bytes).max(0.0)
+        } else {
+            0.0
+        };
+        OverlapCostModel {
+            alpha_s: alpha,
+            beta_s_per_byte: beta,
+        }
+    }
+
+    /// Predicted allreduce seconds for one bucket of `bytes`.
+    pub fn bucket_seconds(&self, bytes: f64) -> f64 {
+        self.alpha_s + self.beta_s_per_byte * bytes
+    }
+}
+
+/// The tuner's threshold decision with its model evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdChoice {
+    /// Chosen fusion threshold in bytes.
+    pub threshold_bytes: usize,
+    /// Predicted seconds per batch step at that threshold.
+    pub predicted_step_s: f64,
+    /// Buckets per step the chosen plan produces.
+    pub buckets_per_step: usize,
+}
+
+/// Picks the fusion threshold minimising the predicted per-step time
+/// `backward + exposed(threshold)`, where the exposed communication
+/// comes from the α–β pipeline recurrence over the candidate's
+/// [`FusionPlan`]: bucket `i` becomes ready when backward has produced
+/// its share of the gradients (readiness proportional to cumulative
+/// elements, gradients arriving in `region_elements` order) and costs
+/// `α + β·bytes`. Ties prefer the **largest** threshold — fewer buckets
+/// mean less engine overhead the model does not price.
+///
+/// # Panics
+/// Panics if `region_elements` is empty or all-zero, if no candidate is
+/// given, or if any candidate threshold is zero.
+pub fn pick_overlap_threshold(
+    region_elements: &[usize],
+    backward_step_s: f64,
+    cost: &OverlapCostModel,
+    candidates: &[usize],
+) -> ThresholdChoice {
+    let total_elems: usize = region_elements.iter().sum();
+    assert!(total_elems > 0, "model has no gradient elements");
+    assert!(!candidates.is_empty(), "no candidate thresholds");
+    let mut best: Option<ThresholdChoice> = None;
+    for &threshold in candidates {
+        let plan = FusionPlan::plan_split(region_elements, threshold);
+        let elems = plan.group_elements();
+        let mut comm = Vec::with_capacity(elems.len());
+        let mut ready = Vec::with_capacity(elems.len());
+        let mut cum = 0usize;
+        for &e in elems {
+            cum += e;
+            comm.push(cost.bucket_seconds(4.0 * e as f64));
+            ready.push(backward_step_s * cum as f64 / total_elems as f64);
+        }
+        let exposed = cluster::overlap_exposed_seconds(&comm, &ready);
+        let predicted = backward_step_s + exposed;
+        let better = match &best {
+            None => true,
+            // `<=` so equal predictions resolve to the later (larger)
+            // threshold.
+            Some(b) => predicted <= b.predicted_step_s,
+        };
+        if better {
+            best = Some(ThresholdChoice {
+                threshold_bytes: threshold,
+                predicted_step_s: predicted,
+                buckets_per_step: elems.len(),
+            });
+        }
+    }
+    best.expect("at least one candidate")
+}
+
+/// Picks the candidate worker count with the lowest predicted cost under
+/// a fitted time-vs-workers law. Ties prefer the smallest count (fewer
+/// resources for the same predicted time).
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn pick_worker_count(fit: &FittedModel, candidates: &[usize]) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "no candidate worker counts");
+    let mut best = (candidates[0], fit.predict(candidates[0] as f64));
+    for &n in &candidates[1..] {
+        let pred = fit.predict(n as f64);
+        if pred < best.1 {
+            best = (n, pred);
+        }
+    }
+    best
+}
+
+/// The tuner's fleet-sizing decision with its model evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSizing {
+    /// Chosen initial (and minimum) replica count.
+    pub initial_replicas: usize,
+    /// The fitted model's predicted worst-window p99 at that size.
+    pub predicted_p99_s: f64,
+}
+
+/// Picks the smallest fleet size in `1..=max_replicas` whose fitted
+/// p99-vs-replicas law predicts the SLO holds; falls back to
+/// `max_replicas` when no size does.
+///
+/// # Panics
+/// Panics if `max_replicas` is zero.
+pub fn pick_fleet_initial_size(
+    p99_fit: &FittedModel,
+    slo_p99_s: f64,
+    max_replicas: usize,
+) -> FleetSizing {
+    assert!(max_replicas >= 1, "fleet needs at least one replica");
+    for n in 1..=max_replicas {
+        let predicted = p99_fit.predict(n as f64);
+        if predicted <= slo_p99_s {
+            return FleetSizing {
+                initial_replicas: n,
+                predicted_p99_s: predicted,
+            };
+        }
+    }
+    FleetSizing {
+        initial_replicas: max_replicas,
+        predicted_p99_s: p99_fit.predict(max_replicas as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit, SamplePoint};
+
+    #[test]
+    fn calibration_recovers_alpha_beta() {
+        // Ground truth: α = 2 ms, β = 1 µs/KB → busy = n·α + B·β.
+        let (alpha, beta) = (2e-3, 1e-9);
+        let bytes = 4.0 * 1e6;
+        let busy = |n: u64| n as f64 * alpha + bytes * beta;
+        let m = OverlapCostModel::calibrate(40, busy(40), 5, busy(5), bytes);
+        assert!((m.alpha_s - alpha).abs() < 1e-12);
+        assert!((m.beta_s_per_byte - beta).abs() < 1e-15);
+    }
+
+    #[test]
+    fn calibration_degrades_gracefully() {
+        // Same bucket count twice: everything attributed to bytes.
+        let m = OverlapCostModel::calibrate(10, 1.0, 10, 1.0, 1e6);
+        assert_eq!(m.alpha_s, 0.0);
+        assert!((m.beta_s_per_byte - 1e-6).abs() < 1e-12);
+        // Noise making the fewer-bucket run slower clamps α at zero.
+        let m = OverlapCostModel::calibrate(40, 0.5, 5, 0.6, 1e6);
+        assert_eq!(m.alpha_s, 0.0);
+    }
+
+    #[test]
+    fn threshold_tuner_balances_latency_against_exposure() {
+        // Ten 10k-element regions; backward takes 10 ms/step. With a
+        // visible per-bucket α, one huge bucket exposes the whole comm
+        // after backward, while absurdly tiny buckets pay α each — the
+        // optimum is in between.
+        let regions = vec![10_000usize; 10];
+        let cost = OverlapCostModel {
+            alpha_s: 0.5e-3,
+            beta_s_per_byte: 5e-9,
+        };
+        let candidates: Vec<usize> = (8..=26).map(|p| 1usize << p).collect();
+        let choice = pick_overlap_threshold(&regions, 0.010, &cost, &candidates);
+        assert!(choice.buckets_per_step > 1, "tuner must pipeline");
+        assert!(
+            choice.threshold_bytes < 64 * 1024 * 1024,
+            "tuner must not fall back to one mega-bucket"
+        );
+        // The choice must beat both extremes' predictions.
+        let lo = pick_overlap_threshold(&regions, 0.010, &cost, &[256]);
+        let hi = pick_overlap_threshold(&regions, 0.010, &cost, &[64 * 1024 * 1024]);
+        assert!(choice.predicted_step_s <= lo.predicted_step_s);
+        assert!(choice.predicted_step_s <= hi.predicted_step_s);
+    }
+
+    #[test]
+    fn worker_tuner_finds_the_knee() {
+        // U-shaped measured curve: parallel win then oversubscription.
+        let pts: Vec<SamplePoint> = [(1.0, 8.0), (2.0, 4.2), (4.0, 2.4), (8.0, 2.9)]
+            .iter()
+            .map(|&(scale, value)| SamplePoint { scale, value })
+            .collect();
+        let f = fit(&pts).expect("fit");
+        let (n, pred) = pick_worker_count(&f, &[1, 2, 4, 8]);
+        assert!(n == 4 || n == 8, "knee near 4, got {n}");
+        assert!(pred > 0.0);
+    }
+
+    #[test]
+    fn fleet_sizer_picks_smallest_slo_holding_size() {
+        // p99(n) = 0.05 + 1.2/n: crosses a 0.25 s SLO at n = 6.
+        let pts: Vec<SamplePoint> = [1.0, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&n| SamplePoint {
+                scale: n,
+                value: 0.05 + 1.2 / n,
+            })
+            .collect();
+        let f = fit(&pts).expect("fit");
+        let sizing = pick_fleet_initial_size(&f, 0.25, 32);
+        assert_eq!(sizing.initial_replicas, 6);
+        assert!(sizing.predicted_p99_s <= 0.25);
+        // An unreachable SLO falls back to the cap.
+        assert_eq!(pick_fleet_initial_size(&f, 0.01, 32).initial_replicas, 32);
+    }
+}

@@ -9,6 +9,7 @@ pub use datapipe;
 pub use experiments;
 pub use fleet;
 pub use hpo;
+pub use perfmodel;
 pub use resil;
 pub use serve;
 pub use simcore;
